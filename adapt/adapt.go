@@ -1,0 +1,163 @@
+// Package adapt implements runtime adaptation on top of the engine — the
+// direction the paper's future-work section sketches: watch the running
+// deployment's measured statistics and re-plan (queue placement, mode,
+// priorities) while queries keep running.
+//
+// A Controller periodically snapshots engine metrics and asks its policies
+// for an action. Policies are deliberately conservative: they require a
+// condition to persist across consecutive observations and respect a
+// cool-down between actions, because every re-plan briefly pauses the
+// world.
+package adapt
+
+import (
+	"sync"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// Action is what a policy wants done.
+type Action int
+
+// Possible actions, in increasing order of disruption.
+const (
+	// None leaves the deployment alone.
+	None Action = iota
+	// Rebalance re-places queues from measured costs and rates
+	// (Engine.Rebalance).
+	Rebalance
+	// SwitchHMTS moves the running engine to the hybrid architecture
+	// (Engine.SwitchMode to ModeHMTS).
+	SwitchHMTS
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Rebalance:
+		return "rebalance"
+	case SwitchHMTS:
+		return "switch-hmts"
+	}
+	return "Action(?)"
+}
+
+// Policy inspects a metrics snapshot and proposes an action.
+type Policy interface {
+	Name() string
+	Evaluate(m hmts.Metrics) Action
+}
+
+// Event records one controller decision, for observability and tests.
+type Event struct {
+	At     time.Time
+	Policy string
+	Action Action
+	Err    error
+}
+
+// Controller drives the adaptation loop.
+type Controller struct {
+	eng      *hmts.Engine
+	policies []Policy
+	period   time.Duration
+	cooldown time.Duration
+
+	mu     sync.Mutex
+	events []Event
+	last   time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New returns a controller over eng evaluating the policies every period,
+// with at least cooldown between actions.
+func New(eng *hmts.Engine, period, cooldown time.Duration, policies ...Policy) *Controller {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	return &Controller{
+		eng:      eng,
+		policies: policies,
+		period:   period,
+		cooldown: cooldown,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the control loop; call Stop to end it.
+func (c *Controller) Start() {
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(c.period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				c.Step()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the control loop and waits for it.
+func (c *Controller) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// Step runs one evaluation immediately (exposed for deterministic tests).
+// It returns the action taken.
+func (c *Controller) Step() Action {
+	m := c.eng.Metrics()
+	for _, p := range c.policies {
+		act := p.Evaluate(m)
+		if act == None {
+			continue
+		}
+		c.mu.Lock()
+		if time.Since(c.last) < c.cooldown {
+			c.mu.Unlock()
+			return None
+		}
+		c.last = time.Now()
+		c.mu.Unlock()
+
+		var err error
+		switch act {
+		case Rebalance:
+			err = c.eng.Rebalance()
+		case SwitchHMTS:
+			err = c.eng.SwitchMode(hmts.ModeHMTS, "")
+		}
+		c.record(Event{At: time.Now(), Policy: p.Name(), Action: act, Err: err})
+		return act
+	}
+	return None
+}
+
+func (c *Controller) record(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the decisions taken so far.
+func (c *Controller) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}

@@ -1,0 +1,31 @@
+package adapt_test
+
+import (
+	"fmt"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/adapt"
+)
+
+// Example shows a controller watching a live engine with the stock
+// policies and applying one deterministic step.
+func Example() {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(200_000, 1e6, hmts.SeqKeys()))
+	sink := src.
+		Where("w", func(e hmts.Element) bool { return e.Key%2 == 0 }).
+		CountSink("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeOTS})
+
+	ctl := adapt.New(eng, 50*time.Millisecond, 0,
+		&adapt.ArchitectureFit{MinOpsForOTS: 1}, // OTS with any ops: switch
+		&adapt.QueueGrowth{Threshold: 100_000},
+		&adapt.CostDrift{Factor: 4},
+	)
+	act := ctl.Step()
+	eng.Wait()
+	sink.Wait()
+	fmt.Println(act, eng.Metrics().Mode, sink.Count())
+	// Output: switch-hmts hmts 100000
+}

@@ -1,0 +1,162 @@
+package adapt
+
+import (
+	"math"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// QueueGrowth triggers a rebalance when any queue's backlog exceeds
+// Threshold and has grown on Persist consecutive observations — the
+// symptom of a stalling virtual operator whose capacity turned negative
+// (paper §5.1.1).
+type QueueGrowth struct {
+	// Threshold is the backlog, in elements, below which growth is
+	// ignored.
+	Threshold int
+	// Persist is how many consecutive growing observations are required.
+	Persist int
+
+	lastLens map[string]int
+	growing  map[string]int
+}
+
+// Name implements Policy.
+func (*QueueGrowth) Name() string { return "queue-growth" }
+
+// Evaluate implements Policy.
+func (p *QueueGrowth) Evaluate(m hmts.Metrics) Action {
+	if p.lastLens == nil {
+		p.lastLens = make(map[string]int)
+		p.growing = make(map[string]int)
+	}
+	if p.Persist <= 0 {
+		p.Persist = 3
+	}
+	trigger := false
+	for _, q := range m.Queues {
+		last, seen := p.lastLens[q.Name]
+		p.lastLens[q.Name] = q.Len
+		if !seen {
+			continue
+		}
+		if q.Len > p.Threshold && q.Len > last {
+			p.growing[q.Name]++
+			if p.growing[q.Name] >= p.Persist {
+				p.growing[q.Name] = 0
+				trigger = true
+			}
+		} else {
+			p.growing[q.Name] = 0
+		}
+	}
+	if trigger {
+		return Rebalance
+	}
+	return None
+}
+
+// CostDrift triggers a rebalance when an operator's measured cost deviates
+// from the estimate the current placement was planned with by more than
+// Factor in either direction — the plan is stale.
+type CostDrift struct {
+	// Factor is the tolerated multiplicative deviation (e.g. 4 means
+	// rebalance beyond 4x or below 1/4x). Values <= 1 default to 4.
+	Factor float64
+	// planned remembers the estimates in force at the previous
+	// rebalance.
+	planned map[string]float64
+}
+
+// Name implements Policy.
+func (*CostDrift) Name() string { return "cost-drift" }
+
+// Evaluate implements Policy.
+func (p *CostDrift) Evaluate(m hmts.Metrics) Action {
+	factor := p.Factor
+	if factor <= 1 {
+		factor = 4
+	}
+	if p.planned == nil {
+		p.planned = make(map[string]float64)
+	}
+	drifted := false
+	for _, o := range m.Ops {
+		if o.CostNS <= 0 || o.In < 100 {
+			continue // no reliable measurement yet
+		}
+		base, ok := p.planned[o.Name]
+		if !ok {
+			// Seed from the estimate the current plan was built with, so
+			// a mis-hinted operator is caught on the first reliable
+			// measurement; fall back to the measurement itself when the
+			// plan carried no estimate.
+			base = o.PlannedCostNS
+			if base <= 0 {
+				p.planned[o.Name] = o.CostNS
+				continue
+			}
+			p.planned[o.Name] = base
+		}
+		if !ratioOK(o.CostNS/base, factor) {
+			drifted = true
+			p.planned[o.Name] = o.CostNS
+		}
+	}
+	if drifted {
+		return Rebalance
+	}
+	return None
+}
+
+// ratioOK reports |log(ratio)| <= log(factor).
+func ratioOK(ratio, factor float64) bool {
+	return math.Abs(math.Log(ratio)) <= math.Log(factor)
+}
+
+// ArchitectureFit recommends moving to HMTS when the running architecture
+// mismatches the graph — the paper's central claim applied as a policy:
+// OTS with many cheap operators pays needless per-thread overhead, GTS
+// with an expensive operator stalls. The policy fires at most once.
+type ArchitectureFit struct {
+	// MinOpsForOTS: under OTS, switch once the operator count reaches
+	// this (default 16).
+	MinOpsForOTS int
+	// StallCostNS: under GTS, switch once any operator's measured cost
+	// exceeds this (default 1ms).
+	StallCostNS float64
+	fired       bool
+}
+
+// Name implements Policy.
+func (*ArchitectureFit) Name() string { return "architecture-fit" }
+
+// Evaluate implements Policy.
+func (p *ArchitectureFit) Evaluate(m hmts.Metrics) Action {
+	if p.fired {
+		return None
+	}
+	minOps := p.MinOpsForOTS
+	if minOps <= 0 {
+		minOps = 16
+	}
+	stall := p.StallCostNS
+	if stall <= 0 {
+		stall = 1e6
+	}
+	switch m.Mode {
+	case hmts.ModeOTS:
+		if len(m.Ops) >= minOps {
+			p.fired = true
+			return SwitchHMTS
+		}
+	case hmts.ModeGTS:
+		for _, o := range m.Ops {
+			if o.In >= 100 && o.CostNS > stall {
+				p.fired = true
+				return SwitchHMTS
+			}
+		}
+	}
+	return None
+}

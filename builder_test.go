@@ -1,0 +1,159 @@
+package hmts_test
+
+import (
+	"testing"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// runAndCount is a helper running the engine to completion.
+func runAndCount(t *testing.T, eng *hmts.Engine, c *hmts.Counter, mode hmts.Mode) uint64 {
+	t.Helper()
+	eng.MustRun(hmts.RunConfig{Mode: mode})
+	eng.Wait()
+	c.Wait()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	return c.Count()
+}
+
+func TestBuilderProjectAndSample(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(40_000, 1e6, hmts.SeqKeys()))
+	c := src.Project("proj").Sample("half", 0.5, 3).CountSink("out")
+	got := runAndCount(t, eng, c, hmts.ModeGTS)
+	if got < 19_000 || got > 21_000 {
+		t.Fatalf("sampled %d of 40000, want ~20000", got)
+	}
+}
+
+func TestBuilderDistinct(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(10_000, 1e6, func(i int) hmts.Element {
+		return hmts.Element{Key: int64(i % 10)}
+	}))
+	c := src.Distinct("dedup", time.Hour).CountSink("out")
+	if got := runAndCount(t, eng, c, hmts.ModeDI); got != 10 {
+		t.Fatalf("distinct passed %d, want 10", got)
+	}
+}
+
+func TestBuilderJoinNested(t *testing.T) {
+	eng := hmts.New()
+	a := eng.Source("a", hmts.GenerateStamped(300, 1e6, hmts.UniformKeys(0, 9, 1)))
+	b := eng.Source("b", hmts.GenerateStamped(300, 1e6, hmts.UniformKeys(0, 9, 2)))
+	c := a.JoinNested("band", b, time.Hour,
+		func(l, r hmts.Element) bool { return l.Key == r.Key },
+		nil).CountSink("out")
+	if got := runAndCount(t, eng, c, hmts.ModeHMTS); got == 0 {
+		t.Fatal("nested join produced nothing")
+	}
+}
+
+func TestBuilderJoinMany(t *testing.T) {
+	eng := hmts.New()
+	a := eng.Source("a", hmts.GenerateStamped(200, 1e6, hmts.UniformKeys(0, 4, 1)))
+	b := eng.Source("b", hmts.GenerateStamped(200, 1e6, hmts.UniformKeys(0, 4, 2)))
+	c := eng.Source("c", hmts.GenerateStamped(200, 1e6, hmts.UniformKeys(0, 4, 3)))
+	sink := a.JoinMany("m3", time.Hour, b, c).CountSink("out")
+	if got := runAndCount(t, eng, sink, hmts.ModeGTS); got == 0 {
+		t.Fatal("3-way join produced nothing")
+	}
+}
+
+func TestBuilderUnionReorderThrottle(t *testing.T) {
+	eng := hmts.New()
+	a := eng.Source("a", hmts.GenerateStamped(5000, 1e6, hmts.SeqKeys()))
+	b := eng.Source("b", hmts.GenerateStamped(5000, 1e6, hmts.SeqKeys()))
+	merged := a.Union("merge", b).Reorder("fix", 10*time.Millisecond)
+	shed := merged.Throttle("shed", 500_000, 1).CountSink("out")
+	got := runAndCount(t, eng, shed, hmts.ModeOTS)
+	// Union emits 10k elements over 5ms of stream time at 2M/s combined;
+	// the throttle passes 500k/s -> about a quarter.
+	if got < 1500 || got > 4500 {
+		t.Fatalf("throttle passed %d of 10000", got)
+	}
+}
+
+func TestBuilderTopK(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(20_000, 1e6, func(i int) hmts.Element {
+		k := int64(i % 100)
+		if i%3 == 0 {
+			k = 7 // heavy hitter
+		}
+		return hmts.Element{Key: k}
+	}))
+	col := src.TopK("top", 1, time.Hour).Collect("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeDI})
+	eng.Wait()
+	col.Wait()
+	els := col.Elements()
+	if len(els) == 0 {
+		t.Fatal("no top-k events")
+	}
+	if final := els[len(els)-1]; final.Key != 7 {
+		t.Fatalf("final top-1 is %d, want 7", final.Key)
+	}
+}
+
+func TestBuilderAggregateRows(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(100, 1e6, func(i int) hmts.Element {
+		return hmts.Element{Val: 1}
+	}))
+	col := src.AggregateRows("last5", hmts.Count, 5, nil).Collect("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	eng.Wait()
+	col.Wait()
+	els := col.Elements()
+	if len(els) != 100 {
+		t.Fatalf("emitted %d", len(els))
+	}
+	if els[99].Val != 5 || els[2].Val != 3 {
+		t.Fatalf("rows window wrong: %v, %v", els[2].Val, els[99].Val)
+	}
+}
+
+func TestBuilderQueueBoundBackpressure(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(100_000, 1e6, hmts.SeqKeys()))
+	c := src.Where("all", func(hmts.Element) bool { return true }).CountSink("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeOTS, QueueBound: 128})
+	eng.Wait()
+	c.Wait()
+	if c.Count() != 100_000 {
+		t.Fatalf("bounded run lost elements: %d", c.Count())
+	}
+	for _, q := range eng.Metrics().Queues {
+		if q.MaxLen > 128 {
+			t.Fatalf("queue %s exceeded its bound: %d", q.Name, q.MaxLen)
+		}
+	}
+}
+
+func TestBuilderCrossEnginePanics(t *testing.T) {
+	a := hmts.New()
+	b := hmts.New()
+	sa := a.Source("s", hmts.GenerateStamped(1, 1, nil))
+	sb := b.Source("s", hmts.GenerateStamped(1, 1, nil))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-engine join should panic")
+		}
+	}()
+	sa.Join("x", sb, time.Second, nil)
+}
+
+func TestBuilderHintFlowsToPlanner(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(10, 1e6, nil))
+	st := src.Where("w", func(hmts.Element) bool { return true }).Hint(123456, 0.25)
+	st.Discard("null")
+	n := st.Node()
+	if n.CostNS != 123456 || n.Selectivity != 0.25 {
+		t.Fatalf("hint not applied: %+v", n)
+	}
+}

@@ -1,0 +1,108 @@
+// Command hmtsbench regenerates the figures of the paper's evaluation
+// (§6). Each experiment prints the table the figure summarizes; -series
+// additionally dumps the raw time series as CSV.
+//
+// Usage:
+//
+//	hmtsbench -exp all            # every figure at standard scale
+//	hmtsbench -exp fig9 -scale paper
+//	hmtsbench -exp fig6 -format csv -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/dsms/hmts/internal/exp"
+	"github.com/dsms/hmts/internal/stats"
+)
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment: fig6, fig7, fig8, fig9, fig11, latency, saturation or all")
+		scale  = flag.String("scale", "std", "fidelity: paper (minutes), std (seconds), fast (sub-second)")
+		format = flag.String("format", "table", "output: table or csv")
+		series = flag.Bool("series", false, "also dump time series as CSV")
+		plot   = flag.Bool("plot", false, "render the report's time series as ASCII charts")
+	)
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scale {
+	case "paper":
+		sc = exp.Paper
+	case "std":
+		sc = exp.Std
+	case "fast":
+		sc = exp.Fast
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	runs := map[string]func() *exp.Report{
+		"fig6":       func() *exp.Report { return exp.Fig6(exp.DefaultFig6(sc)) },
+		"fig7":       func() *exp.Report { return exp.Fig7(sc) },
+		"fig8":       func() *exp.Report { return exp.Fig8(sc) },
+		"fig9":       func() *exp.Report { return exp.Fig9(exp.DefaultFig9(sc)) },
+		"fig11":      func() *exp.Report { return exp.Fig11(exp.DefaultFig11(sc)) },
+		"latency":    func() *exp.Report { return exp.Latency(exp.DefaultLatency(sc)) },
+		"saturation": func() *exp.Report { return exp.Saturation(exp.DefaultSaturation(sc)) },
+	}
+
+	var names []string
+	if *which == "all" {
+		names = []string{"fig6", "fig7", "fig8", "fig9", "fig11", "latency", "saturation"}
+	} else {
+		if _, ok := runs[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+			os.Exit(2)
+		}
+		names = []string{*which}
+	}
+
+	for _, name := range names {
+		rep := runs[name]()
+		switch *format {
+		case "csv":
+			fmt.Print(rep.CSV())
+		default:
+			fmt.Println(rep.Table())
+		}
+		keys := make([]string, 0, len(rep.Series))
+		for k := range rep.Series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if *series {
+			for _, k := range keys {
+				fmt.Printf("# series %s\n%s", k, rep.Series[k].CSV())
+			}
+		}
+		if *plot && len(keys) > 0 {
+			// Group related curves (mem-*, res-*, *-rate) on one chart.
+			byPrefix := map[string][]string{}
+			var order []string
+			for _, k := range keys {
+				p := k
+				if i := strings.Index(k, "-"); i > 0 {
+					p = k[:i]
+				}
+				if _, ok := byPrefix[p]; !ok {
+					order = append(order, p)
+				}
+				byPrefix[p] = append(byPrefix[p], k)
+			}
+			for _, p := range order {
+				var ss []*stats.Series
+				for _, k := range byPrefix[p] {
+					ss = append(ss, rep.Series[k])
+				}
+				fmt.Println(exp.Plot(72, 16, ss...))
+			}
+		}
+	}
+}

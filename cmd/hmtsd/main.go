@@ -1,0 +1,366 @@
+// Command hmtsd is a minimal DSMS daemon: clients connect over TCP, define
+// synthetic sources, register continuous queries in the shared query
+// graph, start the engine in any scheduling mode, and receive results as
+// they are produced.
+//
+// Protocol (one command per line; responses are OK/ERR lines, results are
+// pushed asynchronously):
+//
+//	SOURCE <name> COUNT <n> RATE <hz> [KEYS <lo> <hi>] [SEED <s>] [STAMPED]
+//	QUERY <select-statement>            -> OK <id>
+//	START [gts|ots|di|pure-di|hmts] [fifo|chain|roundrobin|maxqueue]
+//	MODE <mode> [strategy]              (switch while running)
+//	REBALANCE                           (re-place queues from live stats)
+//	METRICS
+//	WAIT                                (blocks until all queries finish)
+//	QUIT
+//
+// Results: RESULT <id> <ts> <key> <val>, then DONE <id>.
+//
+// Example session:
+//
+//	SOURCE s COUNT 100000 RATE 50000 KEYS 0 999 SEED 7
+//	QUERY SELECT count(*) FROM s GROUP BY KEY WINDOW 1s
+//	START hmts
+//	WAIT
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/ql"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	flag.Parse()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hmtsd: %v", err)
+	}
+	log.Printf("hmtsd listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("hmtsd: accept: %v", err)
+			return
+		}
+		go newSession(conn).serve()
+	}
+}
+
+// session is one client connection with its own engine.
+type session struct {
+	conn     net.Conn
+	mu       sync.Mutex // guards w
+	w        *bufio.Writer
+	eng      *hmts.Engine
+	sources  map[string]*hmts.Stream
+	started  bool
+	queries  int
+	flushReq chan struct{}
+	closed   chan struct{}
+}
+
+func newSession(conn net.Conn) *session {
+	return &session{
+		conn:     conn,
+		w:        bufio.NewWriterSize(conn, 64*1024),
+		eng:      hmts.New(),
+		sources:  make(map[string]*hmts.Stream),
+		flushReq: make(chan struct{}, 1),
+		closed:   make(chan struct{}),
+	}
+}
+
+// send writes one line and flushes immediately — for command responses and
+// end-of-stream markers the client is actively waiting on.
+func (s *session) send(format string, args ...any) {
+	s.mu.Lock()
+	fmt.Fprintf(s.w, format+"\n", args...)
+	s.w.Flush()
+	s.mu.Unlock()
+}
+
+// sendAsync writes one line into the buffer; the background flusher pushes
+// it out within a few milliseconds. Result streams use this so high result
+// rates do not pay a syscall per element.
+func (s *session) sendAsync(format string, args ...any) {
+	s.mu.Lock()
+	fmt.Fprintf(s.w, format+"\n", args...)
+	s.mu.Unlock()
+	select {
+	case s.flushReq <- struct{}{}:
+	default:
+	}
+}
+
+// flusher drains buffered result lines shortly after they are written.
+func (s *session) flusher() {
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-s.flushReq:
+			time.Sleep(2 * time.Millisecond) // let a batch accumulate
+			s.mu.Lock()
+			s.w.Flush()
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *session) serve() {
+	go s.flusher()
+	defer func() {
+		close(s.closed)
+		if s.started {
+			s.eng.Stop()
+		}
+		s.conn.Close()
+	}()
+	sc := bufio.NewScanner(s.conn)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	s.send("OK hmtsd ready")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd := strings.ToUpper(strings.Fields(line)[0])
+		rest := strings.TrimSpace(line[len(cmd):])
+		switch cmd {
+		case "QUIT":
+			s.send("OK bye")
+			return
+		case "SOURCE":
+			s.cmdSource(rest)
+		case "QUERY":
+			s.cmdQuery(rest)
+		case "START":
+			s.cmdStart(rest)
+		case "MODE":
+			s.cmdMode(rest)
+		case "REBALANCE":
+			s.cmdRebalance()
+		case "METRICS":
+			s.cmdMetrics()
+		case "WAIT":
+			if !s.started {
+				s.send("ERR not started")
+				continue
+			}
+			s.eng.Wait()
+			s.send("OK finished")
+		default:
+			s.send("ERR unknown command %q", cmd)
+		}
+	}
+}
+
+// cmdSource parses: <name> COUNT <n> RATE <hz> [KEYS lo hi] [SEED s] [STAMPED]
+func (s *session) cmdSource(rest string) {
+	if s.started {
+		s.send("ERR engine already started")
+		return
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 {
+		s.send("ERR SOURCE needs a name")
+		return
+	}
+	name := strings.ToLower(f[0])
+	if _, dup := s.sources[name]; dup {
+		s.send("ERR source %q already exists", name)
+		return
+	}
+	var (
+		count        = 0
+		rate         = 0.0
+		keyLo, keyHi = int64(0), int64(1_000_000)
+		seed         = uint64(1)
+		stamped      = false
+		err          error
+	)
+	for i := 1; i < len(f); i++ {
+		switch strings.ToUpper(f[i]) {
+		case "COUNT":
+			i++
+			count, err = strconv.Atoi(arg(f, i))
+		case "RATE":
+			i++
+			rate, err = strconv.ParseFloat(arg(f, i), 64)
+		case "KEYS":
+			keyLo, err = strconv.ParseInt(arg(f, i+1), 10, 64)
+			if err == nil {
+				keyHi, err = strconv.ParseInt(arg(f, i+2), 10, 64)
+			}
+			i += 2
+		case "SEED":
+			i++
+			seed, err = strconv.ParseUint(arg(f, i), 10, 64)
+		case "STAMPED":
+			stamped = true
+		default:
+			err = fmt.Errorf("unknown option %q", f[i])
+		}
+		if err != nil {
+			s.send("ERR %v", err)
+			return
+		}
+	}
+	if count <= 0 {
+		s.send("ERR SOURCE needs COUNT > 0")
+		return
+	}
+	gen := hmts.UniformKeys(keyLo, keyHi, seed)
+	var spec hmts.SourceSpec
+	if stamped {
+		spec = hmts.GenerateStamped(count, rate, gen)
+	} else {
+		spec = hmts.Generate(count, rate, gen)
+	}
+	s.sources[name] = s.eng.Source(name, spec)
+	s.send("OK source %s", name)
+}
+
+func arg(f []string, i int) string {
+	if i < 0 || i >= len(f) {
+		return ""
+	}
+	return f[i]
+}
+
+func (s *session) cmdQuery(rest string) {
+	if s.started {
+		s.send("ERR engine already started")
+		return
+	}
+	q, err := ql.Parse(rest)
+	if err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	out, err := ql.Plan(s.eng, s.sources, q)
+	if err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	id := s.queries
+	s.queries++
+	out.Into(fmt.Sprintf("client-q%d", id), &resultSink{s: s, id: id})
+	s.send("OK %d", id)
+}
+
+func (s *session) cmdStart(rest string) {
+	if s.started {
+		s.send("ERR engine already started")
+		return
+	}
+	if s.queries == 0 {
+		s.send("ERR no queries registered")
+		return
+	}
+	mode, strategy, err := parseMode(rest)
+	if err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	if err := s.eng.Run(hmts.RunConfig{Mode: mode, Strategy: strategy}); err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	s.started = true
+	s.send("OK running %v", mode)
+}
+
+func (s *session) cmdMode(rest string) {
+	if !s.started {
+		s.send("ERR not started")
+		return
+	}
+	mode, strategy, err := parseMode(rest)
+	if err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	if err := s.eng.SwitchMode(mode, strategy); err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	s.send("OK mode %v", mode)
+}
+
+func (s *session) cmdRebalance() {
+	if !s.started {
+		s.send("ERR not started")
+		return
+	}
+	if err := s.eng.Rebalance(); err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	s.send("OK rebalanced")
+}
+
+func (s *session) cmdMetrics() {
+	m := s.eng.Metrics()
+	s.mu.Lock()
+	for _, line := range strings.Split(strings.TrimRight(m.String(), "\n"), "\n") {
+		fmt.Fprintf(s.w, "INFO %s\n", line)
+	}
+	fmt.Fprintf(s.w, "OK metrics\n")
+	s.w.Flush()
+	s.mu.Unlock()
+}
+
+func parseMode(rest string) (hmts.Mode, string, error) {
+	f := strings.Fields(strings.ToLower(rest))
+	mode := hmts.ModeHMTS
+	strategy := ""
+	if len(f) > 0 {
+		switch f[0] {
+		case "gts":
+			mode = hmts.ModeGTS
+		case "ots":
+			mode = hmts.ModeOTS
+		case "di":
+			mode = hmts.ModeDI
+		case "pure-di", "puredi":
+			mode = hmts.ModePureDI
+		case "hmts":
+			mode = hmts.ModeHMTS
+		default:
+			return 0, "", fmt.Errorf("unknown mode %q", f[0])
+		}
+	}
+	if len(f) > 1 {
+		strategy = f[1]
+	}
+	return mode, strategy, nil
+}
+
+// resultSink streams query results to the client connection.
+type resultSink struct {
+	s  *session
+	id int
+}
+
+// Process implements hmts.Sink.
+func (r *resultSink) Process(_ int, e hmts.Element) {
+	r.s.sendAsync("RESULT %d %d %d %g", r.id, e.TS, e.Key, e.Val)
+}
+
+// Done implements hmts.Sink.
+func (r *resultSink) Done(int) {
+	r.s.send("DONE %d", r.id)
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer runs the accept loop on an ephemeral port and returns the
+// address.
+func startServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go newSession(conn).serve()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+	// results tallies RESULT lines per query id and dones the DONE lines,
+	// no matter which read consumed them — results stream concurrently
+	// with command responses.
+	results map[string]int
+	dones   map[string]bool
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	c := &client{t: t, conn: conn, r: bufio.NewReader(conn),
+		results: make(map[string]int), dones: make(map[string]bool)}
+	c.expect("OK hmtsd ready")
+	return c
+}
+
+func (c *client) sendLine(line string) {
+	c.t.Helper()
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+}
+
+func (c *client) readLine() string {
+	c.t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	line = strings.TrimRight(line, "\n")
+	if f := strings.Fields(line); len(f) >= 2 {
+		switch f[0] {
+		case "RESULT":
+			c.results[f[1]]++
+		case "DONE":
+			c.dones[f[1]] = true
+		}
+	}
+	return line
+}
+
+// waitDone reads until the query id's DONE line has been seen.
+func (c *client) waitDone(id string) {
+	c.t.Helper()
+	for !c.dones[id] {
+		if line := c.readLine(); strings.HasPrefix(line, "ERR") {
+			c.t.Fatalf("server error: %s", line)
+		}
+	}
+}
+
+// expect reads lines until one has the prefix, failing on ERR.
+func (c *client) expect(prefix string) []string {
+	c.t.Helper()
+	var skipped []string
+	for {
+		line := c.readLine()
+		if strings.HasPrefix(line, prefix) {
+			return skipped
+		}
+		if strings.HasPrefix(line, "ERR") {
+			c.t.Fatalf("server error while waiting for %q: %s", prefix, line)
+		}
+		skipped = append(skipped, line)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+
+	c.sendLine("SOURCE s COUNT 1000 RATE 0 KEYS 0 9 SEED 3 STAMPED")
+	c.expect("OK source s")
+	c.sendLine("QUERY SELECT * FROM s WHERE key < 5")
+	c.expect("OK 0")
+	c.sendLine("START gts")
+	c.expect("OK running")
+	c.sendLine("WAIT")
+	c.waitDone("0")
+	results := c.results["0"]
+	if results == 0 {
+		t.Fatal("no results streamed")
+	}
+	// Keys 0..9 uniform, predicate key < 5 -> about half pass.
+	if results < 300 || results > 700 {
+		t.Fatalf("got %d results, want ~500", results)
+	}
+	c.sendLine("METRICS")
+	info := c.expect("OK metrics")
+	if len(info) == 0 {
+		t.Fatal("METRICS returned no INFO lines")
+	}
+	c.sendLine("QUIT")
+	c.expect("OK bye")
+}
+
+func TestServerSharedSourceTwoQueries(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.sendLine("SOURCE s COUNT 2000 RATE 0 KEYS 0 99 SEED 5 STAMPED")
+	c.expect("OK source s")
+	c.sendLine("QUERY SELECT * FROM s WHERE key < 50")
+	c.expect("OK 0")
+	c.sendLine("QUERY SELECT * FROM s WHERE key >= 50")
+	c.expect("OK 1")
+	c.sendLine("START hmts")
+	c.expect("OK running")
+	c.waitDone("0")
+	c.waitDone("1")
+	if got := c.results["0"] + c.results["1"]; got != 2000 {
+		t.Fatalf("split queries lost elements: %v", c.results)
+	}
+}
+
+func TestServerLiveModeSwitchAndRebalance(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.sendLine("SOURCE s COUNT 100000 RATE 0 KEYS 0 999 STAMPED")
+	c.expect("OK source")
+	c.sendLine("QUERY SELECT count(*) FROM s GROUP BY KEY WINDOW 1s")
+	c.expect("OK 0")
+	c.sendLine("START ots")
+	c.expect("OK running")
+	c.sendLine("MODE gts chain")
+	c.expect("OK mode gts")
+	c.sendLine("MODE hmts")
+	c.expect("OK mode hmts")
+	c.sendLine("REBALANCE")
+	c.expect("OK rebalanced")
+	c.sendLine("WAIT")
+	c.waitDone("0")
+	if got := c.results["0"]; got != 100000 {
+		t.Fatalf("continuous aggregate streamed %d results, want 100000", got)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.sendLine("QUERY SELECT * FROM nope")
+	if line := c.readLine(); !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("want ERR for unknown source, got %s", line)
+	}
+	c.sendLine("START")
+	if line := c.readLine(); !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("want ERR for START without queries, got %s", line)
+	}
+	c.sendLine("BOGUS")
+	if line := c.readLine(); !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("want ERR for unknown command, got %s", line)
+	}
+	c.sendLine("SOURCE s COUNT 10 RATE 0 STAMPED")
+	c.expect("OK source")
+	c.sendLine("SOURCE s COUNT 10 RATE 0")
+	if line := c.readLine(); !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("want ERR for duplicate source, got %s", line)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	addr := startServer(t)
+	const clients = 4
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			errs <- func() error {
+				conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				c := &client{t: t, conn: conn, r: bufio.NewReader(conn),
+					results: make(map[string]int), dones: make(map[string]bool)}
+				c.expect("OK hmtsd ready")
+				c.sendLine("SOURCE s COUNT 5000 RATE 0 KEYS 0 99 SEED " +
+					string(rune('1'+i)) + " STAMPED")
+				c.expect("OK source")
+				c.sendLine("QUERY SELECT * FROM s WHERE key < 50")
+				c.expect("OK 0")
+				c.sendLine("START hmts")
+				c.expect("OK running")
+				c.waitDone("0")
+				if got := c.results["0"]; got < 2000 || got > 3000 {
+					return fmt.Errorf("client %d got %d results", i, got)
+				}
+				return nil
+			}()
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

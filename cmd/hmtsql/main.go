@@ -1,0 +1,74 @@
+// Command hmtsql executes a continuous-query script against the engine
+// and prints one summary row per query.
+//
+// A script is a ';'-separated list of statements ("--" starts a line
+// comment):
+//
+//	-- sources
+//	CREATE SOURCE trades COUNT 200000 RATE 100000 KEYS 0 499 SEED 7;
+//	CREATE SOURCE quotes COUNT 200000 RATE 100000 KEYS 0 499 SEED 8;
+//	-- queries over the shared graph
+//	SELECT count(*) FROM trades GROUP BY KEY WINDOW 100ms;
+//	SELECT * FROM trades JOIN quotes WINDOW 10ms WHERE val > 1;
+//	SET MODE hmts chain;
+//
+// Usage:
+//
+//	hmtsql script.hql
+//	echo 'CREATE SOURCE s COUNT 1000 RATE 0 STAMPED; SELECT * FROM s' | hmtsql -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dsms/hmts/ql"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s <script.hql | ->\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	verbose := flag.Bool("v", false, "print sample results per query")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		src []byte
+		err error
+	)
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmtsql: %v\n", err)
+		os.Exit(1)
+	}
+
+	script, err := ql.ParseScript(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmtsql: %v\n", err)
+		os.Exit(1)
+	}
+	results, err := script.Execute()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmtsql: %v\n", err)
+		os.Exit(1)
+	}
+	for i, r := range results {
+		fmt.Printf("q%d  %-60s  %8d results  (%.1fms)\n", i, r.Query, r.Count, float64(r.Elapsed)/1e6)
+		if *verbose {
+			for _, e := range r.Sample {
+				fmt.Printf("      %v\n", e)
+			}
+		}
+	}
+}

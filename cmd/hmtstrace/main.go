@@ -1,0 +1,209 @@
+// Command hmtstrace works with binary stream traces (package trace):
+// generate synthetic ones, inspect them, and print their head.
+//
+//	hmtstrace gen  -out w.tr -n 100000 -rate 50000 -keys 1000 -seed 7
+//	hmtstrace stat w.tr
+//	hmtstrace head -n 5 w.tr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "head":
+		err = cmdHead(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmtstrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hmtstrace gen|stat|head|merge [flags] [file...]")
+	os.Exit(2)
+}
+
+// cmdMerge k-way merges timestamp-ordered traces.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("merge: -out is required")
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("merge: need at least one input trace")
+	}
+	var ins []io.Reader
+	for _, p := range fs.Args() {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ins = append(ins, f)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := trace.Merge(f, ins...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d elements into %s\n", n, *out)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output file (required)")
+	n := fs.Int("n", 100_000, "number of elements")
+	rate := fs.Float64("rate", 50_000, "nominal rate in elements/second (timestamps)")
+	keys := fs.Int64("keys", 1000, "key domain size (uniform)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	gen := hmts.UniformKeys(0, *keys-1, *seed)
+	gap := int64(1e9 / *rate)
+	ts := int64(0)
+	for i := 0; i < *n; i++ {
+		ts += gap
+		e := gen(i)
+		e.TS = ts
+		if err := w.Write(e); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d elements to %s\n", *n, *out)
+	return nil
+}
+
+func open(fs *flag.FlagSet) (*os.File, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one trace file")
+	}
+	return os.Open(fs.Arg(0))
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	fs.Parse(args)
+	f, err := open(fs)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var (
+		n            uint64
+		firstTS      int64
+		lastTS       int64
+		minKey       = int64(1<<63 - 1)
+		maxKey       = int64(-1 << 63)
+		sumVal       float64
+		distinctKeys = map[int64]struct{}{}
+	)
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			firstTS = e.TS
+		}
+		lastTS = e.TS
+		if e.Key < minKey {
+			minKey = e.Key
+		}
+		if e.Key > maxKey {
+			maxKey = e.Key
+		}
+		sumVal += e.Val
+		if len(distinctKeys) < 1_000_000 {
+			distinctKeys[e.Key] = struct{}{}
+		}
+		n++
+	}
+	if n == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	span := float64(lastTS-firstTS) / 1e9
+	fmt.Printf("elements:      %d\n", n)
+	fmt.Printf("time span:     %.3fs (ts %d .. %d)\n", span, firstTS, lastTS)
+	if span > 0 {
+		fmt.Printf("mean rate:     %.0f elements/s\n", float64(n)/span)
+	}
+	fmt.Printf("keys:          %d distinct in [%d, %d]\n", len(distinctKeys), minKey, maxKey)
+	fmt.Printf("mean val:      %.4f\n", sumVal/float64(n))
+	return nil
+}
+
+func cmdHead(args []string) error {
+	fs := flag.NewFlagSet("head", flag.ExitOnError)
+	n := fs.Int("n", 10, "elements to print")
+	fs.Parse(args)
+	f, err := open(fs)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		e, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(e)
+	}
+	return nil
+}

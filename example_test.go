@@ -1,0 +1,81 @@
+package hmts_test
+
+import (
+	"fmt"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// ExampleEngine shows the minimal lifecycle: build, run, wait, inspect.
+func ExampleEngine() {
+	eng := hmts.New()
+	src := eng.Source("numbers", hmts.GenerateStamped(1000, 1_000_000, hmts.SeqKeys()))
+	evens := src.Where("even", func(e hmts.Element) bool { return e.Key%2 == 0 }).Collect("out")
+
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeHMTS})
+	eng.Wait()
+	evens.Wait()
+	fmt.Println(evens.Len())
+	// Output: 500
+}
+
+// ExampleStream_Join joins two streams on Key over a sliding window.
+func ExampleStream_Join() {
+	eng := hmts.New()
+	orders := eng.Source("orders", hmts.Replay([]hmts.Element{
+		{TS: 10, Key: 1, Val: 100},
+		{TS: 20, Key: 2, Val: 250},
+	}))
+	payments := eng.Source("payments", hmts.Replay([]hmts.Element{
+		{TS: 15, Key: 1, Val: 100},
+		{TS: 25, Key: 9, Val: 1}, // no matching order
+	}))
+	matched := orders.Join("settle", payments, 100*time.Millisecond, nil).Collect("out")
+
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	eng.Wait()
+	matched.Wait()
+	for _, e := range matched.Elements() {
+		fmt.Printf("key=%d val=%g\n", e.Key, e.Val)
+	}
+	// Output: key=1 val=200
+}
+
+// ExampleStream_Aggregate computes a grouped sliding count.
+func ExampleStream_Aggregate() {
+	eng := hmts.New()
+	src := eng.Source("clicks", hmts.Replay([]hmts.Element{
+		{TS: 1, Key: 7}, {TS: 2, Key: 7}, {TS: 3, Key: 9},
+	}))
+	counts := src.Aggregate("per-user", hmts.Count, time.Second,
+		func(e hmts.Element) int64 { return e.Key }).Collect("out")
+
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeDI})
+	eng.Wait()
+	counts.Wait()
+	for _, e := range counts.Elements() {
+		fmt.Printf("user=%d count=%g\n", e.Key, e.Val)
+	}
+	// Output:
+	// user=7 count=1
+	// user=7 count=2
+	// user=9 count=1
+}
+
+// ExampleEngine_SwitchMode flips a running engine from OTS to GTS — the
+// paper's instant architecture switch.
+func ExampleEngine_SwitchMode() {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(10_000, 1_000_000, hmts.SeqKeys()))
+	out := src.Where("w", func(e hmts.Element) bool { return e.Key%10 == 0 }).CountSink("out")
+
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeOTS})
+	if err := eng.SwitchMode(hmts.ModeGTS, "chain"); err != nil {
+		panic(err)
+	}
+	eng.Wait()
+	out.Wait()
+	fmt.Println(out.Count())
+	// Output: 1000
+}

@@ -1,0 +1,50 @@
+// Quickstart: build one continuous query, run it under HMTS, print the
+// results and the engine's self-measured statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+func main() {
+	eng := hmts.New()
+
+	// A synthetic sensor emitting 200k readings at 100k/s: Key is the
+	// sensor id (0..15), Val the reading.
+	src := eng.Source("sensors", hmts.Generate(200_000, 100_000, func(i int) hmts.Element {
+		return hmts.Element{
+			Key: int64(i % 16),
+			Val: float64(i%1000) / 10,
+		}
+	}))
+
+	// Continuous query: the 100ms sliding average reading per sensor,
+	// restricted to sensors with even ids.
+	avg := src.
+		Where("even-sensors", func(e hmts.Element) bool { return e.Key%2 == 0 }).
+		Aggregate("avg-per-sensor", hmts.Avg, 100*time.Millisecond,
+			func(e hmts.Element) int64 { return e.Key })
+
+	// Alert on high sliding averages.
+	alerts := avg.Where("high", func(e hmts.Element) bool { return e.Val > 49.9 }).Collect("alerts")
+
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeHMTS})
+	eng.Wait()
+	alerts.Wait()
+
+	fmt.Printf("query finished: %d alert tuples\n", alerts.Len())
+	for i, e := range alerts.Elements() {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  sensor %d: sliding avg %.2f at t=%.3fs\n", e.Key, e.Val, float64(e.TS)/1e9)
+	}
+	fmt.Println()
+	fmt.Println(eng.Metrics())
+}

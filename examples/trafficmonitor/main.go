@@ -1,0 +1,112 @@
+// Traffic monitoring — the introduction's motivating workload. Loop
+// detectors on road segments stream (segment, speed) readings; the engine
+// runs three standing queries over the shared detector stream:
+//
+//  1. the sliding average speed per segment,
+//  2. congestion alerts: segments whose sliding average drops below a
+//     threshold,
+//  3. a correlation of congestion alerts with an incident report stream
+//     (sliding-window join on segment id).
+//
+// The example starts under GTS, switches to HMTS mid-run (the paper's
+// runtime flexibility), then rebalances queue placement from the measured
+// operator costs.
+//
+//	go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+const (
+	segments  = 64
+	readings  = 300_000
+	incidents = 2_000
+)
+
+func main() {
+	eng := hmts.New()
+
+	// Detector stream: congestion develops on segments 10..13 midway.
+	detectors := eng.Source("detectors", hmts.Generate(readings, 150_000, func(i int) hmts.Element {
+		seg := int64(i % segments)
+		speed := 90 + 20*math.Sin(float64(i)/5000)
+		if seg >= 10 && seg <= 13 && i > readings/3 {
+			speed = 25 + 5*math.Sin(float64(i)/500) // jam
+		}
+		return hmts.Element{Key: seg, Val: speed}
+	}))
+
+	// Incident reports on random segments.
+	reports := eng.Source("incidents", hmts.GeneratePoisson(incidents, 1_000,
+		hmts.UniformKeys(0, segments-1, 42), 7))
+
+	avgSpeed := detectors.Aggregate("avg-speed", hmts.Avg, 200*time.Millisecond,
+		func(e hmts.Element) int64 { return e.Key }).
+		Hint(1500, 1)
+
+	congested := avgSpeed.
+		Where("slow", func(e hmts.Element) bool { return e.Val < 40 }).
+		Distinct("debounce", 100*time.Millisecond)
+
+	alerts := congested.Collect("alerts")
+
+	correlated := congested.Join("near-incident", reports, 500*time.Millisecond,
+		func(l, r hmts.Element) hmts.Element {
+			return hmts.Element{TS: maxTS(l.TS, r.TS), Key: l.Key, Val: l.Val}
+		})
+	confirmed := correlated.Collect("confirmed")
+
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS, Strategy: "chain"})
+	fmt.Println("running under GTS/chain ...")
+
+	time.Sleep(300 * time.Millisecond)
+	if err := eng.SwitchMode(hmts.ModeHMTS, ""); err != nil {
+		panic(err)
+	}
+	fmt.Println("switched to HMTS mid-run")
+
+	time.Sleep(300 * time.Millisecond)
+	if err := eng.Rebalance(); err != nil {
+		panic(err)
+	}
+	fmt.Println("rebalanced queue placement from measured costs")
+
+	eng.Wait()
+	alerts.Wait()
+	confirmed.Wait()
+
+	segs := map[int64]bool{}
+	for _, e := range alerts.Elements() {
+		segs[e.Key] = true
+	}
+	fmt.Printf("\ncongestion alerts: %d tuples on segments %v\n", alerts.Len(), keys(segs))
+	fmt.Printf("alerts correlated with incident reports: %d\n", confirmed.Len())
+	fmt.Println()
+	fmt.Println(eng.Metrics())
+}
+
+func maxTS(a, b hmts.Time) hmts.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func keys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module github.com/dsms/hmts
+
+go 1.22

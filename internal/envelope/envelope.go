@@ -1,0 +1,80 @@
+// Package envelope implements the progress-chart lower envelope of the
+// Chain scheduling strategy (Babcock, Babu, Datar, Motwani, SIGMOD 2003),
+// which both the Chain runtime strategy and the chain-based VO construction
+// baseline of paper §6.7 rely on.
+//
+// For a linear chain of operators with per-element costs c_i and
+// selectivities s_i, the progress chart is the polyline through the points
+//
+//	p_0 = (0, 1),  p_i = (Σ_{j<=i} c_j, Π_{j<=i} s_j)
+//
+// i.e. cumulative processing time against the fraction of an input element
+// still in flight. The lower envelope greedily connects each point to the
+// future point with the steepest descent; the operators between two
+// envelope points form one segment, and at runtime Chain favors queues
+// whose segment drops "size" fastest per unit of work.
+package envelope
+
+// OpPoint describes one operator of a chain for envelope computation.
+type OpPoint struct {
+	CostNS float64 // per-element processing cost, must be > 0
+	Sel    float64 // selectivity in [0, ∞); < 1 shrinks the stream
+}
+
+// Segments partitions the chain ops[0..n) into lower-envelope segments.
+// It returns, for each operator, the index of its segment, and for each
+// segment its (non-negative) steepness: the drop in remaining size per
+// nanosecond of processing across the segment. Larger steepness means the
+// segment releases memory faster and is scheduled first by Chain.
+func Segments(ops []OpPoint) (segOf []int, steepness []float64) {
+	n := len(ops)
+	segOf = make([]int, n)
+	if n == 0 {
+		return segOf, nil
+	}
+	// Cumulative progress-chart points; index i is "after operator i-1".
+	t := make([]float64, n+1)
+	s := make([]float64, n+1)
+	s[0] = 1
+	for i, o := range ops {
+		c := o.CostNS
+		if c <= 0 {
+			// Zero-cost operators would yield infinite steepness; treat
+			// them as arbitrarily cheap instead so ordering stays sane.
+			c = 1
+		}
+		sel := o.Sel
+		if sel < 0 {
+			sel = 0
+		}
+		t[i+1] = t[i] + c
+		s[i+1] = s[i] * sel
+	}
+	seg := 0
+	i := 0
+	for i < n {
+		// Find the future point with the steepest average descent from i.
+		best, bestSteep := i+1, steep(t, s, i, i+1)
+		for j := i + 2; j <= n; j++ {
+			if st := steep(t, s, i, j); st > bestSteep {
+				best, bestSteep = j, st
+			}
+		}
+		for k := i; k < best; k++ {
+			segOf[k] = seg
+		}
+		steepness = append(steepness, bestSteep)
+		seg++
+		i = best
+	}
+	return segOf, steepness
+}
+
+// steep returns the drop rate between chart points i and j (j > i).
+func steep(t, s []float64, i, j int) float64 {
+	dt := t[j] - t[i]
+	if dt <= 0 {
+		return 0
+	}
+	return (s[i] - s[j]) / dt
+}

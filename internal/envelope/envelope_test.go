@@ -1,0 +1,109 @@
+package envelope
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyChain(t *testing.T) {
+	segOf, slopes := Segments(nil)
+	if len(segOf) != 0 || len(slopes) != 0 {
+		t.Fatal("empty chain should yield nothing")
+	}
+}
+
+func TestSingleOperator(t *testing.T) {
+	segOf, slopes := Segments([]OpPoint{{CostNS: 100, Sel: 0.5}})
+	if len(segOf) != 1 || segOf[0] != 0 {
+		t.Fatalf("segOf %v", segOf)
+	}
+	if len(slopes) != 1 || slopes[0] != 0.5/100 {
+		t.Fatalf("slopes %v", slopes)
+	}
+}
+
+// The canonical Chain example: a highly selective cheap operator followed
+// by an expensive one. The cheap operator forms its own steep segment.
+func TestCheapSelectiveThenExpensive(t *testing.T) {
+	segOf, slopes := Segments([]OpPoint{
+		{CostNS: 10, Sel: 0.01},  // steep drop
+		{CostNS: 1000, Sel: 0.5}, // flat
+	})
+	if segOf[0] == segOf[1] {
+		t.Fatalf("segments should split: %v", segOf)
+	}
+	if slopes[segOf[0]] <= slopes[segOf[1]] {
+		t.Fatalf("first segment should be steeper: %v", slopes)
+	}
+}
+
+// A selective operator behind a non-selective cheap one gets pulled into
+// one envelope segment (the defining Chain behavior: the combined drop
+// from p0 is steeper than the first operator alone).
+func TestEnvelopeMergesAcrossFlatPrefix(t *testing.T) {
+	segOf, _ := Segments([]OpPoint{
+		{CostNS: 10, Sel: 1},    // no drop by itself
+		{CostNS: 10, Sel: 0.01}, // big drop
+	})
+	if segOf[0] != segOf[1] {
+		t.Fatalf("flat prefix should merge into the steep segment: %v", segOf)
+	}
+}
+
+func TestSegmentsContiguousAndMonotone(t *testing.T) {
+	// Segment indices must be non-decreasing, starting at 0, without
+	// gaps; slopes along the lower envelope must be non-increasing
+	// (convexity).
+	if err := quick.Check(func(costs, sels []uint16) bool {
+		n := len(costs)
+		if len(sels) < n {
+			n = len(sels)
+		}
+		if n == 0 {
+			return true
+		}
+		ops := make([]OpPoint, n)
+		for i := 0; i < n; i++ {
+			ops[i] = OpPoint{
+				CostNS: float64(costs[i]%1000) + 1,
+				Sel:    float64(sels[i]%100) / 100,
+			}
+		}
+		segOf, slopes := Segments(ops)
+		prev := 0
+		for i, s := range segOf {
+			if s < 0 || s >= len(slopes) {
+				return false
+			}
+			if i == 0 && s != 0 {
+				return false
+			}
+			if s != prev && s != prev+1 {
+				return false
+			}
+			prev = s
+		}
+		for i := 1; i < len(slopes); i++ {
+			if slopes[i] > slopes[i-1]+1e-12 {
+				return false // envelope must be convex
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCostHandled(t *testing.T) {
+	segOf, slopes := Segments([]OpPoint{{CostNS: 0, Sel: 0.5}, {CostNS: 0, Sel: 0.5}})
+	if len(segOf) != 2 || len(slopes) == 0 {
+		t.Fatal("zero-cost operators should not break the envelope")
+	}
+}
+
+func TestNegativeSelClamped(t *testing.T) {
+	segOf, _ := Segments([]OpPoint{{CostNS: 10, Sel: -1}})
+	if len(segOf) != 1 {
+		t.Fatal("negative selectivity should be clamped, not crash")
+	}
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dsms/hmts/internal/graph"
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/sched"
+	"github.com/dsms/hmts/internal/simtime"
+	"github.com/dsms/hmts/internal/stream"
+	"github.com/dsms/hmts/internal/workload"
+)
+
+// LatencyConfig parameterizes the latency extension experiment (not in the
+// paper, but the direct consequence of its stall analysis): a fast alert
+// path and an expensive analytics path share one source; under GTS the
+// expensive operator's runs stall the alert path, which shows up as tail
+// latency, while OTS/HMTS isolate it.
+type LatencyConfig struct {
+	Elements    int
+	RateHz      float64
+	HeavyFrac   float64 // fraction of elements reaching the heavy operator
+	HeavyCostNS int64
+	Reservoir   int
+}
+
+// DefaultLatency maps a scale to the configuration: the heavy path
+// consumes ~40% of one core, well within total capacity, so any alert-path
+// tail latency is pure scheduling interference.
+func DefaultLatency(s Scale) LatencyConfig {
+	cfg := LatencyConfig{
+		Elements:    60_000,
+		RateHz:      20_000,
+		HeavyFrac:   0.02,
+		HeavyCostNS: int64(1e6), // 1ms
+		Reservoir:   4096,
+	}
+	if s.TimeScale > 40 {
+		cfg.Elements = 20_000
+	}
+	return cfg
+}
+
+// Latency measures the alert-path latency quantiles per scheduling mode.
+func Latency(cfg LatencyConfig) *Report {
+	r := &Report{
+		Name:    "ext-latency",
+		Title:   "Alert-path latency under a co-scheduled expensive operator",
+		Headers: []string{"mode", "p50_us", "p99_us", "max_us", "alerts"},
+	}
+	for _, mode := range []string{"gts", "ots", "hmts"} {
+		p50, p99, max, n := runLatency(cfg, mode)
+		r.AddRow(mode, f0(p50/1e3), f0(p99/1e3), f0(max/1e3), fmt.Sprint(n))
+	}
+	r.AddNote("extension experiment: GTS serializes the 1ms analytics runs with the alert path; OTS and HMTS isolate them, cutting alert tail latency by orders of magnitude")
+	return r
+}
+
+func runLatency(cfg LatencyConfig, mode string) (p50, p99, max float64, n uint64) {
+	clock := simtime.NewReal()
+	src := workload.New("src", cfg.Elements, workload.SeqKeys(),
+		workload.FixedRate{Hz: cfg.RateHz}, clock)
+
+	alertSel := 0.1
+	alerts := op.NewFilter("alerts", func(e stream.Element) bool {
+		return hashFrac(uint64(e.Key), 0xA1E27) < alertSel
+	})
+	heavyGate := op.NewFilter("heavy-gate", func(e stream.Element) bool {
+		return hashFrac(uint64(e.Key), 0x8EAF) < cfg.HeavyFrac
+	})
+	heavy := op.NewCostSim("analytics", cfg.HeavyCostNS, nil)
+	lat := op.NewLatencySink(1, cfg.Reservoir, 7, clock.Now)
+	null := op.NewNull(1)
+
+	g := graph.New()
+	ns := g.AddSource("src", src, cfg.RateHz)
+	na := g.AddOp("alerts", alerts, 200, alertSel)
+	nh := g.AddOp("heavy-gate", heavyGate, 200, cfg.HeavyFrac)
+	nc := g.AddOp("analytics", heavy, float64(cfg.HeavyCostNS), 1)
+	nl := g.AddSink("latency", lat)
+	nn := g.AddSink("null", null)
+	g.Connect(ns, na, 0)
+	g.Connect(ns, nh, 0)
+	g.Connect(nh, nc, 0)
+	g.Connect(na, nl, 0)
+	g.Connect(nc, nn, 0)
+	if err := g.DeriveRates(); err != nil {
+		panic(err)
+	}
+
+	var plan sched.Plan
+	opts := sched.Options{Quantum: time.Millisecond}
+	switch mode {
+	case "gts":
+		plan = sched.GTS(g)
+	case "ots":
+		plan = sched.OTS(g)
+	case "hmts":
+		plan = sched.HMTS(g)
+		opts.TS = &sched.TSConfig{}
+	default:
+		panic("exp: unknown latency mode " + mode)
+	}
+	d, err := sched.Build(g, plan, opts)
+	if err != nil {
+		panic(err)
+	}
+	d.Start()
+	d.Wait()
+	lat.Wait()
+	return lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(1), lat.Count()
+}

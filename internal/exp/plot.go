@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/dsms/hmts/internal/stats"
+)
+
+// Plot renders one or more series as an ASCII chart (time on the x-axis in
+// seconds, value on the y-axis), so cmd/hmtsbench can display the paper's
+// curve figures directly in a terminal. Each series gets its own glyph.
+func Plot(width, height int, series ...*stats.Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Bounds across all series.
+	minT, maxT := int64(math.MaxInt64), int64(math.MinInt64)
+	maxV := 0.0
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points() {
+			any = true
+			if p.T < minT {
+				minT = p.T
+			}
+			if p.T > maxT {
+				maxT = p.T
+			}
+			if p.V > maxV {
+				maxV = p.V
+			}
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points() {
+			x := int(float64(p.T-minT) / float64(maxT-minT) * float64(width-1))
+			y := int(p.V / maxV * float64(height-1))
+			row := height - 1 - y
+			if row < 0 {
+				row = 0
+			}
+			if x < 0 {
+				x = 0
+			}
+			if x >= width {
+				x = width - 1
+			}
+			grid[row][x] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", maxV, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%10s ┤%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", 0.0, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g (s)\n", "", width/2, float64(minT)/1e9, width/2-4, float64(maxT)/1e9)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", glyphs[si%len(glyphs)], s.Name())
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsms/hmts/internal/stats"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	a := stats.NewSeries("alpha")
+	b := stats.NewSeries("beta")
+	for i := 0; i < 50; i++ {
+		a.Add(int64(i)*1e9, float64(i))
+		b.Add(int64(i)*1e9, float64(50-i))
+	}
+	out := Plot(40, 10, a, b)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	// The rising series must appear top-right, the falling one top-left.
+	top := lines[0]
+	if !strings.Contains(top, "*") && !strings.Contains(top, "o") {
+		t.Fatalf("no glyph on the max row:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if out := Plot(40, 10, stats.NewSeries("empty")); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+	s := stats.NewSeries("point")
+	s.Add(5, 0) // single zero point: degenerate ranges
+	out := Plot(4, 2, s)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("degenerate plot: %q", out)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports that this binary was built with the race detector;
+// timing-sensitive shape tests skip themselves because the detector's
+// 10-20x slowdown is not uniform across scheduling modes.
+const raceEnabled = true

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsms/hmts/internal/stats"
+)
+
+func demoReport() *Report {
+	r := &Report{
+		Name:    "demo",
+		Title:   "A demo",
+		Headers: []string{"col_a", "b"},
+	}
+	r.AddRow("1", "long-value")
+	r.AddRow("23456", "x")
+	r.AddNote("a note with %d parts", 2)
+	s := stats.NewSeries("curve")
+	s.Add(1e9, 5)
+	r.AddSeries(s)
+	return r
+}
+
+func TestReportTable(t *testing.T) {
+	tab := demoReport().Table()
+	for _, want := range []string{"== demo: A demo ==", "col_a", "long-value", "23456", "note: a note with 2 parts"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+	// Columns are aligned: both rows render the first column at the
+	// header's width or wider.
+	lines := strings.Split(tab, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") || strings.HasPrefix(l, "23456") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 {
+		t.Fatalf("data rows not found:\n%s", tab)
+	}
+	if idx1 := strings.Index(dataLines[0], "long-value"); idx1 != strings.Index(dataLines[1], "x") {
+		t.Fatalf("columns misaligned:\n%s", tab)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	csv := demoReport().CSV()
+	want := "col_a,b\n1,long-value\n23456,x\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestThin(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := thin(xs, 3)
+	if len(got) != 3 || got[0] != 1 || got[2] != 10 {
+		t.Fatalf("thin = %v", got)
+	}
+	if out := thin(xs, 0); len(out) != len(xs) {
+		t.Fatal("thin(0) should keep everything")
+	}
+	if out := thin(xs, 20); len(out) != len(xs) {
+		t.Fatal("thin larger than input should keep everything")
+	}
+}
+
+func TestSeriesAttached(t *testing.T) {
+	r := demoReport()
+	if r.Series["curve"] == nil {
+		t.Fatal("series not attached")
+	}
+	if csv := r.Series["curve"].CSV(); !strings.Contains(csv, "1.000000,5") {
+		t.Fatalf("series csv: %q", csv)
+	}
+}

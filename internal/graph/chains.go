@@ -1,0 +1,52 @@
+package graph
+
+// Chains decomposes the operator nodes into maximal linear chains: runs
+// v1 → v2 → … → vk where each edge is the sole output of its tail and the
+// sole input of its head, and both endpoints are operators. Every operator
+// belongs to exactly one chain; operators at fan-in/fan-out boundaries form
+// chains of length one. Both the Chain scheduling strategy and the
+// chain-based VO construction work per chain.
+func (g *Graph) Chains() [][]int {
+	var chains [][]int
+	for _, n := range g.nodes {
+		if n.Kind != KindOp || g.chainPred(n.ID) >= 0 {
+			continue // not a chain head
+		}
+		ids := []int{n.ID}
+		for {
+			next := g.chainSucc(ids[len(ids)-1])
+			if next < 0 {
+				break
+			}
+			ids = append(ids, next)
+		}
+		chains = append(chains, ids)
+	}
+	return chains
+}
+
+// chainPred returns the unique chain predecessor of operator id, or -1.
+func (g *Graph) chainPred(id int) int {
+	ins := g.in[id]
+	if len(ins) != 1 {
+		return -1
+	}
+	from := g.nodes[ins[0].From]
+	if from.Kind != KindOp || len(g.out[from.ID]) != 1 {
+		return -1
+	}
+	return from.ID
+}
+
+// chainSucc returns the unique chain successor of operator id, or -1.
+func (g *Graph) chainSucc(id int) int {
+	outs := g.out[id]
+	if len(outs) != 1 {
+		return -1
+	}
+	to := g.nodes[outs[0].To]
+	if to.Kind != KindOp || len(g.in[to.ID]) != 1 {
+		return -1
+	}
+	return to.ID
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. If cut is non-nil, edges in
+// the cut set (where queues are placed) are drawn dashed and labeled, which
+// makes partitioning decisions visible at a glance in cmd/hmtsgraph.
+func (g *Graph) DOT(cut map[EdgeKey]bool) string {
+	var b strings.Builder
+	b.WriteString("digraph query {\n  rankdir=BT;\n")
+	for _, n := range g.nodes {
+		shape := "box"
+		switch n.Kind {
+		case KindSource:
+			shape = "ellipse"
+		case KindSink:
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, n.Name, shape)
+	}
+	for _, e := range g.Edges() {
+		attr := ""
+		if cut != nil && cut[e.Key()] {
+			attr = " [style=dashed label=\"queue\"]"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e.From, e.To, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// UndirectedConnected reports whether the given node IDs form a connected
+// subgraph of g when edge direction is ignored — the structural requirement
+// for a partition to be a virtual operator (paper §5.1.2: "all nodes in a
+// partition are connected").
+func (g *Graph) UndirectedConnected(ids []int) bool {
+	if len(ids) == 0 {
+		return true
+	}
+	in := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		in[id] = true
+	}
+	seen := map[int]bool{ids[0]: true}
+	stack := []int{ids[0]}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[id] {
+			if in[e.To] && !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+		for _, e := range g.in[id] {
+			if in[e.From] && !seen[e.From] {
+				seen[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	return len(seen) == len(ids)
+}
+
+// Components returns the weakly connected components of the subgraph
+// induced by keeping only non-cut edges among source and operator nodes.
+// Each component is one virtual operator (plus the sources fused into it);
+// sinks are excluded — they attach to whatever drives their upstream.
+// Components and their members are in deterministic (ascending ID) order.
+func (g *Graph) Components(cut map[EdgeKey]bool) [][]int {
+	parent := make([]int, len(g.nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, e := range g.Edges() {
+		if cut[e.Key()] {
+			continue
+		}
+		from, to := g.nodes[e.From], g.nodes[e.To]
+		if to.Kind == KindSink || from.Kind == KindSink {
+			continue
+		}
+		union(e.From, e.To)
+	}
+	groups := make(map[int][]int)
+	var roots []int
+	for _, n := range g.nodes {
+		if n.Kind == KindSink {
+			continue
+		}
+		r := find(n.ID)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], n.ID)
+	}
+	comps := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		comps = append(comps, groups[r])
+	}
+	return comps
+}

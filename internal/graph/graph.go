@@ -1,0 +1,362 @@
+// Package graph models the logical query graph of the DSMS: a directed
+// acyclic graph whose nodes are sources, operators and sinks, and whose
+// edges are data flow (paper §2.1). The graph is the planning substrate —
+// queue placement, virtual operator construction and thread assignment all
+// operate on it — and the deployment layer (package sched) turns it into a
+// running pipeline.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dsms/hmts/internal/op"
+)
+
+// Kind classifies a node.
+type Kind int
+
+// Node kinds: sources deliver data only, sinks consume only, operators do
+// both.
+const (
+	KindSource Kind = iota
+	KindOp
+	KindSink
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindOp:
+		return "op"
+	case KindSink:
+		return "sink"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is one vertex of the query graph. The planning fields (CostNS,
+// Selectivity, RateHz) may be filled statically by the caller or derived
+// from measured statistics; DeriveRates propagates rates through the graph.
+type Node struct {
+	ID   int
+	Name string
+	Kind Kind
+
+	// CostNS is c(v): the mean per-element processing cost in
+	// nanoseconds. Zero for sources and sinks.
+	CostNS float64
+	// Selectivity is the mean out/in ratio; 1 forwards everything.
+	// Meaningless for sinks.
+	Selectivity float64
+	// RateHz is, for sources, the declared output rate in elements per
+	// second. For operators it is filled in by DeriveRates with the
+	// node's total input rate.
+	RateHz float64
+
+	// Op is the runtime operator for KindOp nodes.
+	Op op.Operator
+	// Src is the runtime source for KindSource nodes.
+	Src op.Source
+	// Sink is the runtime sink for KindSink nodes.
+	Sink op.Sink
+}
+
+// DNS returns d(v), the mean interarrival time of the node's input in
+// nanoseconds (the reciprocal of the input rate, paper §5.1.2). It returns
+// +Inf for a zero rate.
+func (n *Node) DNS() float64 {
+	if n.RateHz <= 0 {
+		return inf
+	}
+	return 1e9 / n.RateHz
+}
+
+const inf = 1e308
+
+// Edge is a dataflow edge delivering the From node's output to input port
+// ToPort of the To node.
+type Edge struct {
+	From, To, ToPort int
+}
+
+// Key returns the edge's identity for use in cut sets.
+func (e Edge) Key() EdgeKey { return EdgeKey(e) }
+
+// EdgeKey identifies an edge; it is comparable and used as a map key for
+// cut (queue placement) sets.
+type EdgeKey struct {
+	From, To, ToPort int
+}
+
+// String renders the key for diagnostics.
+func (k EdgeKey) String() string { return fmt.Sprintf("%d->%d:%d", k.From, k.To, k.ToPort) }
+
+// Graph is a mutable DAG under construction, then a read-only plan input.
+type Graph struct {
+	nodes []*Node
+	out   map[int][]Edge
+	in    map[int][]Edge
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{out: make(map[int][]Edge), in: make(map[int][]Edge)}
+}
+
+func (g *Graph) add(n *Node) *Node {
+	n.ID = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// AddSource adds a source node with a declared output rate in elements per
+// second (used for planning; pass 0 if unknown).
+func (g *Graph) AddSource(name string, src op.Source, rateHz float64) *Node {
+	return g.add(&Node{Name: name, Kind: KindSource, Src: src, RateHz: rateHz, Selectivity: 1})
+}
+
+// AddOp adds an operator node with planning estimates: costNS per element
+// and selectivity (out/in).
+func (g *Graph) AddOp(name string, o op.Operator, costNS, selectivity float64) *Node {
+	return g.add(&Node{Name: name, Kind: KindOp, Op: o, CostNS: costNS, Selectivity: selectivity})
+}
+
+// AddSink adds a terminal sink node.
+func (g *Graph) AddSink(name string, s op.Sink) *Node {
+	return g.add(&Node{Name: name, Kind: KindSink, Sink: s, Selectivity: 1})
+}
+
+// Connect adds an edge from node `from` to input port `toPort` of node
+// `to`. It panics on structurally impossible requests (unknown nodes, edges
+// into sources or out of sinks); semantic validation happens in Validate.
+func (g *Graph) Connect(from, to *Node, toPort int) Edge {
+	if from == nil || to == nil {
+		panic("graph: Connect with nil node")
+	}
+	if g.node(from.ID) != from || g.node(to.ID) != to {
+		panic("graph: Connect with foreign node")
+	}
+	if from.Kind == KindSink {
+		panic("graph: edge out of a sink")
+	}
+	if to.Kind == KindSource {
+		panic("graph: edge into a source")
+	}
+	e := Edge{From: from.ID, To: to.ID, ToPort: toPort}
+	g.out[from.ID] = append(g.out[from.ID], e)
+	g.in[to.ID] = append(g.in[to.ID], e)
+	return e
+}
+
+func (g *Graph) node(id int) *Node {
+	if id < 0 || id >= len(g.nodes) {
+		return nil
+	}
+	return g.nodes[id]
+}
+
+// Node returns the node with the given ID; it panics on unknown IDs.
+func (g *Graph) Node(id int) *Node {
+	n := g.node(id)
+	if n == nil {
+		panic(fmt.Sprintf("graph: unknown node %d", id))
+	}
+	return n
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Sources returns all source nodes.
+func (g *Graph) Sources() []*Node { return g.byKind(KindSource) }
+
+// Ops returns all operator nodes.
+func (g *Graph) Ops() []*Node { return g.byKind(KindOp) }
+
+// Sinks returns all sink nodes.
+func (g *Graph) Sinks() []*Node { return g.byKind(KindSink) }
+
+func (g *Graph) byKind(k Kind) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if n.Kind == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// OutEdges returns the edges leaving node id.
+func (g *Graph) OutEdges(id int) []Edge { return g.out[id] }
+
+// InEdges returns the edges entering node id.
+func (g *Graph) InEdges(id int) []Edge { return g.in[id] }
+
+// Edges returns every edge, ordered by (From, To, ToPort).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for id := range g.nodes {
+		out = append(out, g.out[id]...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.ToPort < b.ToPort
+	})
+	return out
+}
+
+// Validate checks the structural invariants the deployment relies on:
+// acyclicity, every operator input port wired exactly once (fan-in is
+// expressed with explicit Union operators), sources feeding something, and
+// port indices within the operator's declared range.
+func (g *Graph) Validate() error {
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	for _, n := range g.nodes {
+		switch n.Kind {
+		case KindSource:
+			if len(g.out[n.ID]) == 0 {
+				return fmt.Errorf("graph: source %q feeds nothing", n.Name)
+			}
+			if n.Src == nil {
+				return fmt.Errorf("graph: source %q has no runtime source", n.Name)
+			}
+		case KindOp:
+			if n.Op == nil {
+				return fmt.Errorf("graph: op %q has no runtime operator", n.Name)
+			}
+			ports := make(map[int]int)
+			for _, e := range g.in[n.ID] {
+				ports[e.ToPort]++
+			}
+			for p := 0; p < n.Op.Ins(); p++ {
+				switch ports[p] {
+				case 0:
+					return fmt.Errorf("graph: op %q input port %d unconnected", n.Name, p)
+				case 1:
+				default:
+					return fmt.Errorf("graph: op %q input port %d has %d edges; merge with a Union", n.Name, p, ports[p])
+				}
+			}
+			for p := range ports {
+				if p < 0 || p >= n.Op.Ins() {
+					return fmt.Errorf("graph: op %q has edge into invalid port %d (ins=%d)", n.Name, p, n.Op.Ins())
+				}
+			}
+		case KindSink:
+			if n.Sink == nil {
+				return fmt.Errorf("graph: sink %q has no runtime sink", n.Name)
+			}
+			if len(g.in[n.ID]) == 0 {
+				return fmt.Errorf("graph: sink %q receives nothing", n.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the nodes in a topological order, or an error if the
+// graph has a cycle.
+func (g *Graph) TopoOrder() ([]*Node, error) {
+	indeg := make([]int, len(g.nodes))
+	for _, es := range g.out {
+		for _, e := range es {
+			indeg[e.To]++
+		}
+	}
+	var frontier []int
+	for id, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Ints(frontier)
+	var order []*Node
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, g.nodes[id])
+		next := make([]int, 0, 2)
+		for _, e := range g.out[id] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				next = append(next, e.To)
+			}
+		}
+		sort.Ints(next)
+		frontier = append(frontier, next...)
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle among %d nodes", len(g.nodes)-len(order))
+	}
+	return order, nil
+}
+
+// DeriveRates propagates rates through the graph: an operator's input rate
+// is the sum of its upstream output rates, and its output rate is input
+// rate times selectivity. Source rates must already be set. The result
+// lands in each node's RateHz and feeds the d(v) values the placement
+// heuristic consumes (paper §5.1.3 assumes the DSMS provides them).
+func (g *Graph) DeriveRates() error {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	outRate := make([]float64, len(g.nodes))
+	for _, n := range order {
+		switch n.Kind {
+		case KindSource:
+			outRate[n.ID] = n.RateHz
+		default:
+			in := 0.0
+			for _, e := range g.in[n.ID] {
+				in += outRate[e.From]
+			}
+			n.RateHz = in
+			sel := n.Selectivity
+			if sel < 0 {
+				sel = 1
+			}
+			outRate[n.ID] = in * sel
+		}
+	}
+	return nil
+}
+
+// AdoptMeasuredStats overwrites each operator node's planning estimates
+// with the statistics its runtime operator has gathered, enabling adaptive
+// re-planning from live measurements.
+func (g *Graph) AdoptMeasuredStats() {
+	for _, n := range g.nodes {
+		if n.Kind != KindOp || n.Op == nil {
+			continue
+		}
+		st := n.Op.Stats()
+		if c := st.CostNS(); c > 0 {
+			n.CostNS = c
+		}
+		if st.In() > 0 {
+			n.Selectivity = st.Selectivity()
+		}
+		if d := st.InterarrivalNS(); d > 0 {
+			n.RateHz = 1e9 / d
+		}
+	}
+}

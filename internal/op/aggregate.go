@@ -1,0 +1,195 @@
+package op
+
+import (
+	"fmt"
+
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// AggKind selects the aggregate function of a WindowAgg.
+type AggKind int
+
+// Supported aggregate functions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL-ish name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// aggState is the incremental state of one group's aggregate.
+type aggState struct {
+	win   fifo
+	count int64
+	sum   float64
+	// deque holds a monotonic sequence of candidate values for min/max;
+	// front is the current extremum. Standard sliding-window-extremum
+	// structure: amortized O(1) per element.
+	deque []float64
+}
+
+// WindowAgg computes a sliding-window aggregate, optionally grouped, and
+// emits the updated aggregate value on every input element (continuous
+// semantics, as in PIPES). The paper's motivating example (§5.1.1) is an
+// expensive aggregation downstream of a cheap unary chain.
+//
+// The window is either time-based (the last `window` nanoseconds of event
+// time) or count-based (the last `rows` elements per group).
+type WindowAgg struct {
+	Base
+	kind   AggKind
+	window int64 // time window in ns; 0 for count windows
+	rows   int   // count window size; 0 for time windows
+	group  func(stream.Element) int64
+	groups map[int64]*aggState
+}
+
+// NewWindowAgg returns a windowed aggregate of the given kind over a time
+// window in nanoseconds. A nil group function aggregates the whole stream
+// as one group. Event time must be nondecreasing.
+func NewWindowAgg(name string, kind AggKind, window int64, group func(stream.Element) int64) *WindowAgg {
+	if window <= 0 {
+		panic("op: aggregate window must be positive")
+	}
+	a := newAgg(name, kind, group)
+	a.window = window
+	return a
+}
+
+// NewCountWindowAgg returns an aggregate over the last rows elements per
+// group (a ROWS window). Groups persist for the stream's lifetime, so the
+// state is bounded by rows × distinct groups.
+func NewCountWindowAgg(name string, kind AggKind, rows int, group func(stream.Element) int64) *WindowAgg {
+	if rows <= 0 {
+		panic("op: aggregate ROWS window must be positive")
+	}
+	a := newAgg(name, kind, group)
+	a.rows = rows
+	return a
+}
+
+func newAgg(name string, kind AggKind, group func(stream.Element) int64) *WindowAgg {
+	if group == nil {
+		group = func(stream.Element) int64 { return 0 }
+	}
+	a := &WindowAgg{kind: kind, group: group, groups: make(map[int64]*aggState)}
+	a.InitBase(name, 1)
+	return a
+}
+
+// GroupCount returns the number of live groups.
+func (a *WindowAgg) GroupCount() int { return len(a.groups) }
+
+// WindowLen returns the total number of elements held across group windows.
+func (a *WindowAgg) WindowLen() int {
+	n := 0
+	for _, g := range a.groups {
+		n += g.win.len()
+	}
+	return n
+}
+
+func (a *WindowAgg) add(g *aggState, e stream.Element) {
+	g.win.push(e)
+	g.count++
+	g.sum += e.Val
+	switch a.kind {
+	case AggMin:
+		for len(g.deque) > 0 && g.deque[len(g.deque)-1] > e.Val {
+			g.deque = g.deque[:len(g.deque)-1]
+		}
+		g.deque = append(g.deque, e.Val)
+	case AggMax:
+		for len(g.deque) > 0 && g.deque[len(g.deque)-1] < e.Val {
+			g.deque = g.deque[:len(g.deque)-1]
+		}
+		g.deque = append(g.deque, e.Val)
+	}
+}
+
+func (a *WindowAgg) remove(g *aggState) {
+	e := g.win.pop()
+	g.count--
+	g.sum -= e.Val
+	if (a.kind == AggMin || a.kind == AggMax) && len(g.deque) > 0 && g.deque[0] == e.Val {
+		g.deque = g.deque[1:]
+	}
+}
+
+func (a *WindowAgg) result(g *aggState) float64 {
+	switch a.kind {
+	case AggCount:
+		return float64(g.count)
+	case AggSum:
+		return g.sum
+	case AggAvg:
+		if g.count == 0 {
+			return 0
+		}
+		return g.sum / float64(g.count)
+	case AggMin, AggMax:
+		if len(g.deque) == 0 {
+			return 0
+		}
+		return g.deque[0]
+	}
+	panic("op: unknown aggregate kind")
+}
+
+// Process implements Sink.
+func (a *WindowAgg) Process(_ int, e stream.Element) {
+	t := a.BeginWork(e)
+	key := a.group(e)
+	g := a.groups[key]
+	if g == nil {
+		g = &aggState{}
+		a.groups[key] = g
+	}
+	if a.rows > 0 {
+		// Count window: keep the newest rows elements of this group.
+		a.add(g, e)
+		for g.win.len() > a.rows {
+			a.remove(g)
+		}
+	} else {
+		deadline := e.TS - a.window
+		// Expire from every group so whole-stream windows stay consistent
+		// even for groups that receive no new elements for a while.
+		for k, other := range a.groups {
+			for !other.win.empty() && other.win.front().TS <= deadline {
+				a.remove(other)
+			}
+			if other != g && other.win.empty() {
+				delete(a.groups, k)
+			}
+		}
+		a.add(g, e)
+	}
+	a.Emit(stream.Element{TS: e.TS, Key: key, Val: a.result(g)})
+	a.EndWork(t)
+}
+
+// Done implements Sink.
+func (a *WindowAgg) Done(port int) {
+	if a.MarkDone(port) {
+		a.Close()
+	}
+}

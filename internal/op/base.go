@@ -1,0 +1,124 @@
+package op
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dsms/hmts/internal/stats"
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// edge is one subscription: deliver to sink at its input port.
+type edge struct {
+	sink Sink
+	port int
+}
+
+// Base provides the bookkeeping shared by all operators: naming, output
+// subscriptions, fan-out emission, per-port end-of-stream aggregation and
+// statistics. Embed it and implement Process/Done.
+type Base struct {
+	name   string
+	st     *stats.OpStats
+	edges  []edge
+	ins    int
+	doneIn []bool
+	closed atomic.Bool
+	meterN uint64
+}
+
+// InitBase prepares an embedded Base with the operator name and number of
+// input ports.
+func (b *Base) InitBase(name string, ins int) {
+	if ins < 0 {
+		panic("op: negative input port count")
+	}
+	b.name = name
+	b.ins = ins
+	b.doneIn = make([]bool, ins)
+	b.st = stats.NewOpStats()
+}
+
+// Name implements Operator.
+func (b *Base) Name() string { return b.name }
+
+// Stats implements Operator.
+func (b *Base) Stats() *stats.OpStats { return b.st }
+
+// Ins implements Operator.
+func (b *Base) Ins() int { return b.ins }
+
+// Subscribe implements Operator.
+func (b *Base) Subscribe(s Sink, port int) {
+	b.edges = append(b.edges, edge{sink: s, port: port})
+}
+
+// Unsubscribe implements Operator. It panics if the edge is not present,
+// which always indicates an engine bug.
+func (b *Base) Unsubscribe(s Sink, port int) {
+	for i, e := range b.edges {
+		if e.sink == s && e.port == port {
+			b.edges = append(b.edges[:i], b.edges[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("op: Unsubscribe of unknown edge from %q", b.name))
+}
+
+// Fanout returns the number of output subscriptions.
+func (b *Base) Fanout() int { return len(b.edges) }
+
+// Emit pushes one result element to every subscriber via DI and counts it.
+func (b *Base) Emit(e stream.Element) {
+	b.st.RecordOut(1)
+	for _, ed := range b.edges {
+		ed.sink.Process(ed.port, e)
+	}
+}
+
+// Close propagates Done to all subscribers exactly once.
+func (b *Base) Close() {
+	if b.closed.Swap(true) {
+		return
+	}
+	for _, ed := range b.edges {
+		ed.sink.Done(ed.port)
+	}
+}
+
+// Closed reports whether Close has run.
+func (b *Base) Closed() bool { return b.closed.Load() }
+
+// MarkDone records end-of-stream on an input port and reports whether all
+// input ports are now done. Callers typically Close() when it returns true.
+func (b *Base) MarkDone(port int) bool {
+	if port < 0 || port >= b.ins {
+		panic(fmt.Sprintf("op: Done on invalid port %d of %q (ins=%d)", port, b.name, b.ins))
+	}
+	b.doneIn[port] = true
+	for _, d := range b.doneIn {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// BeginWork records an arriving element (feeding the d(v) estimator) and,
+// on sampled elements, returns a start time for cost metering; otherwise
+// it returns -1. Pair with EndWork.
+func (b *Base) BeginWork(e stream.Element) int64 {
+	b.st.RecordIn(e.TS)
+	b.meterN++
+	if b.meterN%meterEvery == 0 {
+		return monotime()
+	}
+	return -1
+}
+
+// EndWork completes cost metering begun by BeginWork.
+func (b *Base) EndWork(start int64) {
+	if start >= 0 {
+		b.st.RecordBusy(monotime() - start)
+	}
+}

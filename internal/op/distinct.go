@@ -1,0 +1,57 @@
+package op
+
+import "github.com/dsms/hmts/internal/stream"
+
+// Distinct suppresses duplicate keys within a sliding time window: an
+// element is forwarded only if no element with the same Key was forwarded
+// in the preceding window nanoseconds. Event time must be nondecreasing.
+type Distinct struct {
+	Base
+	window int64
+	seen   map[int64]int64 // key -> last forwarded TS
+	order  fifo
+}
+
+// NewDistinct returns a window-bounded duplicate eliminator.
+func NewDistinct(name string, window int64) *Distinct {
+	if window <= 0 {
+		panic("op: distinct window must be positive")
+	}
+	d := &Distinct{window: window, seen: make(map[int64]int64)}
+	d.InitBase(name, 1)
+	return d
+}
+
+// StateLen returns the number of keys currently remembered.
+func (d *Distinct) StateLen() int { return len(d.seen) }
+
+// Process implements Sink.
+func (d *Distinct) Process(_ int, e stream.Element) {
+	t := d.BeginWork(e)
+	deadline := e.TS - d.window
+	for !d.order.empty() && d.order.front().TS <= deadline {
+		old := d.order.pop()
+		// Only forget the key if this entry is the latest sighting;
+		// a newer sighting re-armed the suppression window.
+		if ts, ok := d.seen[old.Key]; ok && ts == old.TS {
+			delete(d.seen, old.Key)
+		}
+	}
+	if _, dup := d.seen[e.Key]; !dup {
+		d.seen[e.Key] = e.TS
+		d.order.push(stream.Element{TS: e.TS, Key: e.Key})
+		d.Emit(e)
+	} else {
+		// Refresh the suppression deadline for this key.
+		d.seen[e.Key] = e.TS
+		d.order.push(stream.Element{TS: e.TS, Key: e.Key})
+	}
+	d.EndWork(t)
+}
+
+// Done implements Sink.
+func (d *Distinct) Done(port int) {
+	if d.MarkDone(port) {
+		d.Close()
+	}
+}

@@ -1,0 +1,190 @@
+package op
+
+import (
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// MergeFunc combines a pair of joining elements into the output element.
+// The left argument always comes from input port 0.
+type MergeFunc func(l, r stream.Element) stream.Element
+
+// withinWindow reports whether two event times lie strictly within one
+// window length of each other.
+func withinWindow(a, b, window int64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < window
+}
+
+// defaultMerge stamps the output with the later event time, keeps the join
+// key, and sums the payloads — a deterministic, commutative-over-ports
+// default that reference tests can reproduce exactly.
+func defaultMerge(l, r stream.Element) stream.Element {
+	ts := l.TS
+	if r.TS > ts {
+		ts = r.TS
+	}
+	return stream.Element{TS: ts, Key: l.Key, Val: l.Val + r.Val}
+}
+
+// SHJ is a binary symmetric hash join over sliding time windows, the
+// decoupling workhorse of the paper's first experiment (§6.3). Each input
+// is kept in a hash table on Key for the duration of the window; an
+// arriving element is inserted into its own side's table and probed
+// against the opposite side.
+//
+// Event time must be nondecreasing per input port; expiry removes elements
+// whose timestamp is at or before (arrival − window).
+type SHJ struct {
+	Base
+	window int64
+	merge  MergeFunc
+	sides  [2]hashSide
+}
+
+type hashSide struct {
+	table map[int64][]stream.Element
+	order fifo
+}
+
+// NewSHJ returns a symmetric hash join with the given window length in
+// nanoseconds. A nil merge uses the deterministic default.
+func NewSHJ(name string, window int64, merge MergeFunc) *SHJ {
+	if window <= 0 {
+		panic("op: join window must be positive")
+	}
+	if merge == nil {
+		merge = defaultMerge
+	}
+	j := &SHJ{window: window, merge: merge}
+	j.InitBase(name, 2)
+	j.sides[0].table = make(map[int64][]stream.Element)
+	j.sides[1].table = make(map[int64][]stream.Element)
+	return j
+}
+
+func (s *hashSide) insert(e stream.Element) {
+	s.table[e.Key] = append(s.table[e.Key], e)
+	s.order.push(e)
+}
+
+// expire drops all elements with TS <= deadline. Window contents are FIFO
+// in event time, so expiry pops from the front. Per-key buckets are also in
+// arrival order, so the expired element is always its bucket's head.
+func (s *hashSide) expire(deadline int64) {
+	for !s.order.empty() && s.order.front().TS <= deadline {
+		e := s.order.pop()
+		bucket := s.table[e.Key]
+		// The expired element is the oldest in its bucket.
+		if len(bucket) == 1 {
+			delete(s.table, e.Key)
+		} else {
+			s.table[e.Key] = bucket[1:]
+		}
+	}
+}
+
+// WindowLen returns the number of elements currently held across both
+// sides' windows — the join's state size.
+func (j *SHJ) WindowLen() int { return j.sides[0].order.len() + j.sides[1].order.len() }
+
+// Process implements Sink.
+func (j *SHJ) Process(port int, e stream.Element) {
+	t := j.BeginWork(e)
+	deadline := e.TS - j.window
+	j.sides[0].expire(deadline)
+	j.sides[1].expire(deadline)
+	own, other := &j.sides[port], &j.sides[1-port]
+	own.insert(e)
+	for _, m := range other.table[e.Key] {
+		// The window predicate is on event time, so cross-port arrival
+		// skew can never produce a pair farther apart than the window;
+		// expiry alone would only bound the in-order case.
+		if !withinWindow(e.TS, m.TS, j.window) {
+			continue
+		}
+		if port == 0 {
+			j.Emit(j.merge(e, m))
+		} else {
+			j.Emit(j.merge(m, e))
+		}
+	}
+	j.EndWork(t)
+}
+
+// Done implements Sink.
+func (j *SHJ) Done(port int) {
+	if j.MarkDone(port) {
+		j.Close()
+	}
+}
+
+// SNJ is a binary symmetric nested-loops join over sliding time windows.
+// It supports arbitrary theta predicates, at the price of scanning the
+// whole opposite window per element — the expensive alternative the paper
+// compares against SHJ in Figure 6.
+type SNJ struct {
+	Base
+	window int64
+	pred   func(l, r stream.Element) bool
+	merge  MergeFunc
+	wins   [2]fifo
+}
+
+// NewSNJ returns a symmetric nested-loops join. A nil pred matches on key
+// equality; a nil merge uses the deterministic default.
+func NewSNJ(name string, window int64, pred func(l, r stream.Element) bool, merge MergeFunc) *SNJ {
+	if window <= 0 {
+		panic("op: join window must be positive")
+	}
+	if pred == nil {
+		pred = func(l, r stream.Element) bool { return l.Key == r.Key }
+	}
+	if merge == nil {
+		merge = defaultMerge
+	}
+	j := &SNJ{window: window, pred: pred, merge: merge}
+	j.InitBase(name, 2)
+	return j
+}
+
+// WindowLen returns the number of elements currently held across both
+// sides' windows.
+func (j *SNJ) WindowLen() int { return j.wins[0].len() + j.wins[1].len() }
+
+// Process implements Sink.
+func (j *SNJ) Process(port int, e stream.Element) {
+	t := j.BeginWork(e)
+	deadline := e.TS - j.window
+	for s := 0; s < 2; s++ {
+		w := &j.wins[s]
+		for !w.empty() && w.front().TS <= deadline {
+			w.pop()
+		}
+	}
+	j.wins[port].push(e)
+	other := &j.wins[1-port]
+	if port == 0 {
+		other.each(func(m stream.Element) {
+			if withinWindow(e.TS, m.TS, j.window) && j.pred(e, m) {
+				j.Emit(j.merge(e, m))
+			}
+		})
+	} else {
+		other.each(func(m stream.Element) {
+			if withinWindow(e.TS, m.TS, j.window) && j.pred(m, e) {
+				j.Emit(j.merge(m, e))
+			}
+		})
+	}
+	j.EndWork(t)
+}
+
+// Done implements Sink.
+func (j *SNJ) Done(port int) {
+	if j.MarkDone(port) {
+		j.Close()
+	}
+}

@@ -1,0 +1,97 @@
+package op
+
+import "github.com/dsms/hmts/internal/stream"
+
+// MJoin is an n-ary symmetric hash join over sliding time windows that
+// materializes no intermediate results — the multi-way join of Viglas,
+// Naughton and Burger (VLDB 2003) that the paper's related-work section
+// cites as a natural virtual operator with n inputs and one output.
+//
+// On arrival at input i the element is inserted into side i's window and
+// probed against every other side; one output is emitted per complete
+// combination of matching elements, merged by folding pairwise with the
+// join's MergeFunc in input-port order.
+type MJoin struct {
+	Base
+	window int64
+	merge  MergeFunc
+	sides  []hashSide
+}
+
+// NewMJoin returns an n-way symmetric hash join (n >= 2) with the given
+// window in nanoseconds. A nil merge uses the deterministic default.
+func NewMJoin(name string, n int, window int64, merge MergeFunc) *MJoin {
+	if n < 2 {
+		panic("op: MJoin needs at least two inputs")
+	}
+	if window <= 0 {
+		panic("op: join window must be positive")
+	}
+	if merge == nil {
+		merge = defaultMerge
+	}
+	j := &MJoin{window: window, merge: merge, sides: make([]hashSide, n)}
+	j.InitBase(name, n)
+	for i := range j.sides {
+		j.sides[i].table = make(map[int64][]stream.Element)
+	}
+	return j
+}
+
+// WindowLen returns the total number of elements held across all windows.
+func (j *MJoin) WindowLen() int {
+	n := 0
+	for i := range j.sides {
+		n += j.sides[i].order.len()
+	}
+	return n
+}
+
+// Process implements Sink.
+func (j *MJoin) Process(port int, e stream.Element) {
+	t := j.BeginWork(e)
+	deadline := e.TS - j.window
+	for i := range j.sides {
+		j.sides[i].expire(deadline)
+	}
+	j.sides[port].insert(e)
+	// Probe the other sides in port order, building combinations
+	// recursively. parts[i] is the element chosen for side i; the arriving
+	// element fills its own slot.
+	parts := make([]stream.Element, len(j.sides))
+	parts[port] = e
+	j.probe(0, port, e, parts)
+	j.EndWork(t)
+}
+
+// probe fills slot i and recurses; when all slots are filled it emits the
+// fold of the combination. Every member of a combination must lie within
+// the window of the arriving element e.
+func (j *MJoin) probe(i, skip int, e stream.Element, parts []stream.Element) {
+	if i == len(j.sides) {
+		acc := parts[0]
+		for k := 1; k < len(parts); k++ {
+			acc = j.merge(acc, parts[k])
+		}
+		j.Emit(acc)
+		return
+	}
+	if i == skip {
+		j.probe(i+1, skip, e, parts)
+		return
+	}
+	for _, m := range j.sides[i].table[e.Key] {
+		if !withinWindow(e.TS, m.TS, j.window) {
+			continue
+		}
+		parts[i] = m
+		j.probe(i+1, skip, e, parts)
+	}
+}
+
+// Done implements Sink.
+func (j *MJoin) Done(port int) {
+	if j.MarkDone(port) {
+		j.Close()
+	}
+}

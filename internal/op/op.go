@@ -1,0 +1,76 @@
+// Package op implements the push-based query operators of the DSMS.
+//
+// An operator receives elements via Process and — this is the paper's
+// direct interoperability (DI, §2.4) — forwards results by directly calling
+// Process on its subscribed successors, so one arriving element triggers a
+// depth-first traversal of the downstream subgraph. No scheduler is needed
+// where DI is used; decoupling queues (package queue) end DI at chosen
+// edges and hand control to a scheduler.
+//
+// Concurrency contract: at any instant, at most one goroutine drives a
+// given operator's Process/Done methods. The engine guarantees this by
+// construction — an operator belongs to exactly one partition and each
+// partition is executed by one goroutine at a time. Statistics are atomic
+// so samplers and planners may read them concurrently.
+package op
+
+import (
+	"time"
+
+	"github.com/dsms/hmts/internal/stats"
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// Sink consumes a stream. Process delivers one element to the given input
+// port; Done signals that no more elements will arrive on that port
+// (resolving the end-of-stream ambiguity discussed in paper §2.2 out of
+// band rather than with sentinel elements).
+type Sink interface {
+	Process(port int, e stream.Element)
+	Done(port int)
+}
+
+// Operator is a query-graph node: a Sink that forwards derived elements to
+// subscribed downstream sinks.
+type Operator interface {
+	Sink
+	// Name returns the operator's display name.
+	Name() string
+	// Stats returns the operator's runtime statistics.
+	Stats() *stats.OpStats
+	// Subscribe attaches s as a downstream consumer; elements are
+	// delivered to s.Process(port, ...).
+	Subscribe(s Sink, port int)
+	// Unsubscribe detaches a previously subscribed (s, port) edge. It is
+	// how the engine splices queues in and out of the graph at runtime.
+	Unsubscribe(s Sink, port int)
+	// Ins returns the number of input ports the operator expects Done on
+	// before it closes.
+	Ins() int
+}
+
+// Source produces a stream autonomously (paper §2.1: sources only deliver
+// data). Run drives elements into out at the source's own pace and calls
+// out.Done(port) when exhausted or stopped. Implementations live in package
+// workload.
+type Source interface {
+	// Run blocks until the source is exhausted or stopped.
+	Run(out Sink, port int)
+	// Stop asks a running source to finish early; it is safe to call
+	// concurrently with Run and more than once.
+	Stop()
+	// Name returns the source's display name.
+	Name() string
+}
+
+// meterEvery controls sampled cost metering: one element in meterEvery has
+// its processing time measured (and recorded as representative). Sampling
+// keeps the overhead negligible for sub-microsecond operators while still
+// converging on c(v) quickly.
+const meterEvery = 16
+
+var epoch = time.Now()
+
+// monotime returns nanoseconds since package initialization on the
+// monotonic clock.
+func monotime() int64 { return int64(time.Since(epoch)) }

@@ -1,0 +1,115 @@
+package op
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dsms/hmts/internal/stream"
+	"github.com/dsms/hmts/internal/xrand"
+)
+
+// benchSink is a zero-cost terminal.
+type benchSink struct{ n int }
+
+func (b *benchSink) Process(int, stream.Element) { b.n++ }
+func (b *benchSink) Done(int)                    {}
+
+func BenchmarkFilter(b *testing.B) {
+	f := NewFilter("f", func(e stream.Element) bool { return e.Key%2 == 0 })
+	f.Subscribe(&benchSink{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Process(0, stream.Element{TS: int64(i), Key: int64(i)})
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	m := NewMap("m", func(e stream.Element) stream.Element { e.Val++; return e })
+	m.Subscribe(&benchSink{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Process(0, stream.Element{TS: int64(i)})
+	}
+}
+
+func BenchmarkChainDI5(b *testing.B) {
+	// Five fused selections — the per-element cost of a virtual operator.
+	head := NewFilter("f0", func(e stream.Element) bool { return true })
+	prev := Operator(head)
+	for i := 1; i < 5; i++ {
+		f := NewFilter("f", func(e stream.Element) bool { return true })
+		prev.Subscribe(f, 0)
+		prev = f
+	}
+	prev.Subscribe(&benchSink{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		head.Process(0, stream.Element{TS: int64(i), Key: int64(i)})
+	}
+}
+
+func BenchmarkSHJ(b *testing.B) {
+	j := NewSHJ("j", int64(time.Millisecond), nil)
+	j.Subscribe(&benchSink{}, 0)
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Process(i&1, stream.Element{TS: int64(i) * 1000, Key: rng.Int64n(512)})
+	}
+}
+
+func BenchmarkSNJ(b *testing.B) {
+	j := NewSNJ("j", int64(100*time.Microsecond), nil, nil)
+	j.Subscribe(&benchSink{}, 0)
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Process(i&1, stream.Element{TS: int64(i) * 1000, Key: rng.Int64n(64)})
+	}
+}
+
+func BenchmarkWindowAggSum(b *testing.B) {
+	a := NewWindowAgg("a", AggSum, int64(time.Millisecond), nil)
+	a.Subscribe(&benchSink{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Process(0, stream.Element{TS: int64(i) * 1000, Val: float64(i & 127)})
+	}
+}
+
+func BenchmarkWindowAggMaxGrouped(b *testing.B) {
+	a := NewWindowAgg("a", AggMax, int64(time.Millisecond), func(e stream.Element) int64 { return e.Key })
+	a.Subscribe(&benchSink{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Process(0, stream.Element{TS: int64(i) * 1000, Key: int64(i & 15), Val: float64(i & 127)})
+	}
+}
+
+func BenchmarkDistinct(b *testing.B) {
+	d := NewDistinct("d", int64(time.Millisecond))
+	d.Subscribe(&benchSink{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Process(0, stream.Element{TS: int64(i) * 1000, Key: int64(i & 255)})
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	k := NewTopK("t", 8, int64(time.Millisecond))
+	k.Subscribe(&benchSink{}, 0)
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Process(0, stream.Element{TS: int64(i) * 1000, Key: rng.Int64n(64)})
+	}
+}
+
+func BenchmarkThrottle(b *testing.B) {
+	th := NewThrottle("t", 1e6, 64)
+	th.Subscribe(&benchSink{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		th.Process(0, stream.Element{TS: int64(i) * 500})
+	}
+}

@@ -1,0 +1,84 @@
+package op
+
+import (
+	"fmt"
+
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// Switch routes each element to the first output branch whose predicate
+// accepts it (or to every matching branch with RouteAll). Unlike the
+// implicit fan-out of Base.Emit — which copies every element to every
+// subscriber, the subquery-sharing case of Figure 1 — Switch partitions the
+// stream across branches.
+type Switch struct {
+	Base
+	preds    []func(stream.Element) bool
+	branches [][]edge
+	routeAll bool
+}
+
+// NewSwitch returns a router with one branch per predicate. A nil predicate
+// acts as a catch-all. If routeAll is true an element goes to every branch
+// whose predicate matches rather than only the first.
+func NewSwitch(name string, preds []func(stream.Element) bool, routeAll bool) *Switch {
+	if len(preds) == 0 {
+		panic("op: switch needs at least one branch")
+	}
+	s := &Switch{preds: preds, branches: make([][]edge, len(preds)), routeAll: routeAll}
+	s.InitBase(name, 1)
+	return s
+}
+
+// SubscribeBranch attaches sink at its input port to output branch i.
+func (s *Switch) SubscribeBranch(i int, sink Sink, port int) {
+	if i < 0 || i >= len(s.branches) {
+		panic(fmt.Sprintf("op: switch %q has no branch %d", s.Name(), i))
+	}
+	s.branches[i] = append(s.branches[i], edge{sink: sink, port: port})
+}
+
+// Subscribe attaches to branch 0, satisfying Operator for single-branch use.
+func (s *Switch) Subscribe(sink Sink, port int) { s.SubscribeBranch(0, sink, port) }
+
+// Unsubscribe removes an edge from whichever branch holds it.
+func (s *Switch) Unsubscribe(sink Sink, port int) {
+	for bi := range s.branches {
+		for i, e := range s.branches[bi] {
+			if e.sink == sink && e.port == port {
+				s.branches[bi] = append(s.branches[bi][:i], s.branches[bi][i+1:]...)
+				return
+			}
+		}
+	}
+	panic(fmt.Sprintf("op: Unsubscribe of unknown edge from switch %q", s.Name()))
+}
+
+// Process implements Sink.
+func (s *Switch) Process(_ int, e stream.Element) {
+	t := s.BeginWork(e)
+	for i, p := range s.preds {
+		if p == nil || p(e) {
+			s.Stats().RecordOut(1)
+			for _, ed := range s.branches[i] {
+				ed.sink.Process(ed.port, e)
+			}
+			if !s.routeAll {
+				break
+			}
+		}
+	}
+	s.EndWork(t)
+}
+
+// Done implements Sink.
+func (s *Switch) Done(port int) {
+	if !s.MarkDone(port) {
+		return
+	}
+	for _, br := range s.branches {
+		for _, ed := range br {
+			ed.sink.Done(ed.port)
+		}
+	}
+}

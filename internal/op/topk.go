@@ -1,0 +1,90 @@
+package op
+
+import (
+	"sort"
+
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// TopK tracks the k most frequent keys within a sliding time window and
+// emits an element whenever a key enters the top-k set (Key = the entering
+// key, Val = its current in-window count, TS = the triggering element).
+// It is the classic "heavy hitters" monitoring operator; the intrusion
+// example uses it to surface the busiest hosts.
+//
+// Event time must be nondecreasing.
+type TopK struct {
+	Base
+	k      int
+	window int64
+	counts map[int64]int64
+	order  fifo
+	inTop  map[int64]bool
+}
+
+// NewTopK returns a top-k tracker over a time window in nanoseconds.
+func NewTopK(name string, k int, window int64) *TopK {
+	if k < 1 {
+		panic("op: TopK needs k >= 1")
+	}
+	if window <= 0 {
+		panic("op: TopK window must be positive")
+	}
+	t := &TopK{k: k, window: window, counts: make(map[int64]int64), inTop: make(map[int64]bool)}
+	t.InitBase(name, 1)
+	return t
+}
+
+// Top returns the current top-k keys, most frequent first (ties by
+// ascending key).
+func (t *TopK) Top() []int64 {
+	keys := make([]int64, 0, len(t.counts))
+	for k := range t.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ci, cj := t.counts[keys[i]], t.counts[keys[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > t.k {
+		keys = keys[:t.k]
+	}
+	return keys
+}
+
+// Process implements Sink.
+func (t *TopK) Process(_ int, e stream.Element) {
+	w := t.BeginWork(e)
+	deadline := e.TS - t.window
+	for !t.order.empty() && t.order.front().TS <= deadline {
+		old := t.order.pop()
+		if c := t.counts[old.Key] - 1; c <= 0 {
+			delete(t.counts, old.Key)
+		} else {
+			t.counts[old.Key] = c
+		}
+	}
+	t.counts[e.Key]++
+	t.order.push(stream.Element{TS: e.TS, Key: e.Key})
+
+	top := t.Top()
+	newSet := make(map[int64]bool, len(top))
+	for _, k := range top {
+		newSet[k] = true
+		if !t.inTop[k] {
+			t.Emit(stream.Element{TS: e.TS, Key: k, Val: float64(t.counts[k])})
+		}
+	}
+	t.inTop = newSet
+	t.EndWork(w)
+}
+
+// Done implements Sink.
+func (t *TopK) Done(port int) {
+	if t.MarkDone(port) {
+		t.Close()
+	}
+}

@@ -1,0 +1,33 @@
+package op
+
+import "github.com/dsms/hmts/internal/stream"
+
+// Union merges any number of input streams into one, forwarding elements
+// unchanged in arrival order. It closes once every input port is done.
+type Union struct {
+	Base
+}
+
+// NewUnion returns a union over ins input ports.
+func NewUnion(name string, ins int) *Union {
+	if ins < 1 {
+		panic("op: union needs at least one input")
+	}
+	u := &Union{}
+	u.InitBase(name, ins)
+	return u
+}
+
+// Process implements Sink.
+func (u *Union) Process(_ int, e stream.Element) {
+	t := u.BeginWork(e)
+	u.Emit(e)
+	u.EndWork(t)
+}
+
+// Done implements Sink.
+func (u *Union) Done(port int) {
+	if u.MarkDone(port) {
+		u.Close()
+	}
+}

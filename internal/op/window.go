@@ -1,0 +1,41 @@
+package op
+
+import "github.com/dsms/hmts/internal/stream"
+
+// fifo is a slice-backed queue of elements with amortized O(1) pop. Joins
+// and windowed aggregates use it to hold window contents in arrival order,
+// which is also expiry order because event time is nondecreasing per input.
+type fifo struct {
+	buf  []stream.Element
+	head int
+}
+
+func (f *fifo) push(e stream.Element) { f.buf = append(f.buf, e) }
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+func (f *fifo) empty() bool { return f.head >= len(f.buf) }
+
+// front returns the oldest element; it panics on an empty fifo.
+func (f *fifo) front() stream.Element { return f.buf[f.head] }
+
+// pop removes and returns the oldest element, compacting the backing slice
+// once half of it is dead so memory stays proportional to the live window.
+func (f *fifo) pop() stream.Element {
+	e := f.buf[f.head]
+	f.buf[f.head] = stream.Element{} // release Aux for GC
+	f.head++
+	if f.head > len(f.buf)/2 && f.head > 32 {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return e
+}
+
+// each calls fn on every live element, oldest first.
+func (f *fifo) each(fn func(stream.Element)) {
+	for _, e := range f.buf[f.head:] {
+		fn(e)
+	}
+}

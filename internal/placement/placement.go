@@ -1,0 +1,254 @@
+// Package placement decides where to put the decoupling queues — the
+// graph-partitioning question of paper §5. Each algorithm maps a query
+// graph (with derived rates) to a cut set: the edges that receive queues.
+// The connected components left by the cut are the virtual operators.
+//
+// Three constructions are provided, matching the §6.7 comparison:
+//
+//   - FirstFitDecreasing: the paper's Algorithm 1, a bottom-up stall-
+//     avoiding heuristic with a first-fit-decreasing absorption rule.
+//   - Segment: the simplified segment-construction strategy of Jiang &
+//     Chakravarthy (BNCOD 2004), which groups cost-monotone runs of a
+//     chain.
+//   - Chain: VO construction following the Chain strategy's lower-envelope
+//     segments (Babcock et al., SIGMOD 2003): queues between operators of
+//     the same segment are removed.
+package placement
+
+import (
+	"sort"
+
+	"github.com/dsms/hmts/internal/envelope"
+	"github.com/dsms/hmts/internal/graph"
+	"github.com/dsms/hmts/internal/vo"
+)
+
+// FirstFitDecreasing implements Algorithm 1 (static queue placement). It
+// traverses the graph bottom-up in topological order; each operator first
+// forms its own partition and then absorbs the partitions led by its
+// direct predecessors — considered in descending capacity order — as long
+// as the combined capacity cap(P) = d(P) − c(P) stays non-negative. Edges
+// to predecessors that were not absorbed (or were already absorbed by a
+// sibling) are cut. The first-fit-decreasing rule is the bin-packing
+// heuristic the paper cites for its 1 + ln|partition| approximation bound.
+//
+// The graph must have rates derived (graph.DeriveRates). Edges into sinks
+// are never cut.
+func FirstFitDecreasing(g *graph.Graph) map[graph.EdgeKey]bool {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("placement: " + err.Error())
+	}
+	cut := make(map[graph.EdgeKey]bool)
+	// unit[id] holds the VO led by node id; merged predecessors stop
+	// leading (absorbed[id] = true) and their unit is folded into the
+	// absorber's.
+	unit := make(map[int]vo.VO, g.Len())
+	absorbed := make(map[int]bool)
+	for _, n := range order {
+		if n.Kind == graph.KindSink {
+			continue
+		}
+		unit[n.ID] = vo.Of(g, []int{n.ID})
+	}
+	for _, n := range order {
+		if n.Kind != graph.KindOp {
+			continue
+		}
+		cur := unit[n.ID]
+		// Direct predecessors, deduplicated, that still lead a partition.
+		var preds []int
+		seen := make(map[int]bool)
+		for _, e := range g.InEdges(n.ID) {
+			if !seen[e.From] {
+				seen[e.From] = true
+				preds = append(preds, e.From)
+			}
+		}
+		// sortDescByCap: first-fit decreasing over predecessor capacity,
+		// with ID as deterministic tie-break.
+		sort.Slice(preds, func(i, j int) bool {
+			ci, cj := unit[preds[i]].Cap(), unit[preds[j]].Cap()
+			if ci != cj {
+				return ci > cj
+			}
+			return preds[i] < preds[j]
+		})
+		joined := make(map[int]bool)
+		for _, p := range preds {
+			if absorbed[p] {
+				continue // a sibling already fused this predecessor
+			}
+			if vo.MergedCap(cur, unit[p]) >= 0 {
+				cur = vo.Merge(cur, unit[p])
+				absorbed[p] = true
+				joined[p] = true
+			}
+		}
+		unit[n.ID] = cur
+		for _, e := range g.InEdges(n.ID) {
+			if !joined[e.From] {
+				cut[e.Key()] = true
+			}
+		}
+	}
+	return cut
+}
+
+// Segment implements the simplified segment-construction baseline: walking
+// in topological order, an operator extends its predecessor's segment only
+// along pure chain edges (single consumer feeding a single-input operator)
+// and only while its per-element cost does not exceed the cost of the
+// segment's first operator — i.e. the segment's service rate never
+// degrades along the run. All other edges are cut. Source out-edges are
+// always cut (segments contain operators only).
+func Segment(g *graph.Graph) map[graph.EdgeKey]bool {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("placement: " + err.Error())
+	}
+	cut := make(map[graph.EdgeKey]bool)
+	headCost := make(map[int]float64) // op ID -> cost of its segment's head
+	for _, n := range order {
+		if n.Kind != graph.KindOp {
+			continue
+		}
+		headCost[n.ID] = n.CostNS
+		ins := g.InEdges(n.ID)
+		for _, e := range ins {
+			from := g.Node(e.From)
+			chainEdge := len(ins) == 1 &&
+				from.Kind == graph.KindOp &&
+				len(g.OutEdges(from.ID)) == 1
+			if chainEdge && n.CostNS <= headCost[from.ID] {
+				headCost[n.ID] = headCost[from.ID] // extend the segment
+				continue
+			}
+			cut[e.Key()] = true
+		}
+	}
+	return cut
+}
+
+// Chain implements the chain-strategy-based VO construction baseline:
+// queues are removed between operators that fall into the same
+// lower-envelope segment of their chain's progress chart. Segments are
+// computed per maximal linear chain (runs of single-input operators whose
+// predecessor has a single consumer); edges at fan-in/fan-out boundaries
+// and source out-edges are always cut.
+func Chain(g *graph.Graph) map[graph.EdgeKey]bool {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("placement: " + err.Error())
+	}
+	cut := make(map[graph.EdgeKey]bool)
+	visited := make(map[int]bool)
+	for _, n := range order {
+		if n.Kind != graph.KindOp || visited[n.ID] {
+			continue
+		}
+		if chainUpstream(g, n.ID) >= 0 {
+			continue // not a chain head; handled from its head
+		}
+		// Collect the maximal chain starting at n.
+		ids := []int{n.ID}
+		visited[n.ID] = true
+		for {
+			last := ids[len(ids)-1]
+			outs := g.OutEdges(last)
+			if len(outs) != 1 {
+				break
+			}
+			nxt := g.Node(outs[0].To)
+			if nxt.Kind != graph.KindOp || len(g.InEdges(nxt.ID)) != 1 {
+				break
+			}
+			ids = append(ids, nxt.ID)
+			visited[nxt.ID] = true
+		}
+		pts := make([]envelope.OpPoint, len(ids))
+		for i, id := range ids {
+			node := g.Node(id)
+			pts[i] = envelope.OpPoint{CostNS: node.CostNS, Sel: node.Selectivity}
+		}
+		segOf, _ := envelope.Segments(pts)
+		// Cut edges between consecutive chain members of different
+		// segments; keep (fuse) edges within a segment.
+		for i := 1; i < len(ids); i++ {
+			if segOf[i] != segOf[i-1] {
+				for _, e := range g.InEdges(ids[i]) {
+					cut[e.Key()] = true
+				}
+			}
+		}
+		// Everything entering the chain head from outside is cut.
+		for _, e := range g.InEdges(ids[0]) {
+			cut[e.Key()] = true
+		}
+	}
+	// Edges not on chains (fan-in/fan-out joints) are cut.
+	for _, e := range g.Edges() {
+		to := g.Node(e.To)
+		if to.Kind == graph.KindSink {
+			continue
+		}
+		if !onChain(g, e) {
+			cut[e.Key()] = true
+		}
+	}
+	return cut
+}
+
+// chainUpstream returns the ID of the unique chain predecessor of op id,
+// or -1 if id is a chain head (no predecessor, multiple predecessors, a
+// non-op predecessor, or a predecessor with fan-out).
+func chainUpstream(g *graph.Graph, id int) int {
+	ins := g.InEdges(id)
+	if len(ins) != 1 {
+		return -1
+	}
+	from := g.Node(ins[0].From)
+	if from.Kind != graph.KindOp || len(g.OutEdges(from.ID)) != 1 {
+		return -1
+	}
+	return from.ID
+}
+
+// onChain reports whether edge e is a pure chain edge between two ops.
+func onChain(g *graph.Graph, e graph.Edge) bool {
+	from, to := g.Node(e.From), g.Node(e.To)
+	return from.Kind == graph.KindOp && to.Kind == graph.KindOp &&
+		len(g.OutEdges(from.ID)) == 1 && len(g.InEdges(to.ID)) == 1
+}
+
+// CutAll returns the cut set that decouples every edge not entering a sink
+// — the level-1 configuration of both GTS and OTS (paper §4.2.2).
+func CutAll(g *graph.Graph) map[graph.EdgeKey]bool {
+	cut := make(map[graph.EdgeKey]bool)
+	for _, e := range g.Edges() {
+		if g.Node(e.To).Kind == graph.KindSink {
+			continue
+		}
+		cut[e.Key()] = true
+	}
+	return cut
+}
+
+// CutSources returns the cut set that decouples only source out-edges,
+// leaving all operators fused by DI — the paper's "DI" configuration
+// (one queue after the source, one thread for the operators).
+func CutSources(g *graph.Graph) map[graph.EdgeKey]bool {
+	cut := make(map[graph.EdgeKey]bool)
+	for _, e := range g.Edges() {
+		if g.Node(e.From).Kind == graph.KindSource && g.Node(e.To).Kind != graph.KindSink {
+			cut[e.Key()] = true
+		}
+	}
+	return cut
+}
+
+// CutNone returns the empty cut set: pure DI end to end, with operators
+// running in the threads of their autonomous sources (the §6.3 setup).
+func CutNone(*graph.Graph) map[graph.EdgeKey]bool {
+	return make(map[graph.EdgeKey]bool)
+}

@@ -1,0 +1,252 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dsms/hmts/internal/graph"
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/stream"
+	"github.com/dsms/hmts/internal/vo"
+)
+
+type fakeSource struct{}
+
+func (fakeSource) Run(op.Sink, int) {}
+func (fakeSource) Stop()            {}
+func (fakeSource) Name() string     { return "fake" }
+
+func filterOp(name string) op.Operator {
+	return op.NewFilter(name, func(stream.Element) bool { return true })
+}
+
+// mkChain builds src(rate) -> ops with the given costs (sel 1 each).
+func mkChain(rate float64, costs ...float64) (*graph.Graph, []*graph.Node) {
+	g := graph.New()
+	var nodes []*graph.Node
+	src := g.AddSource("src", fakeSource{}, rate)
+	nodes = append(nodes, src)
+	prev := src
+	for _, c := range costs {
+		n := g.AddOp("f", filterOp("f"), c, 1)
+		g.Connect(prev, n, 0)
+		nodes = append(nodes, n)
+		prev = n
+	}
+	if err := g.DeriveRates(); err != nil {
+		panic(err)
+	}
+	return g, nodes
+}
+
+func TestFFDFusesCheapChain(t *testing.T) {
+	// 1000/s: d = 1ms. Costs 10µs each: whole chain fits in one VO.
+	g, _ := mkChain(1000, 10_000, 10_000, 10_000)
+	cut := FirstFitDecreasing(g)
+	if len(cut) != 0 {
+		t.Fatalf("cheap chain should fuse entirely, cuts: %v", cut)
+	}
+}
+
+func TestFFDIsolatesExpensiveOperator(t *testing.T) {
+	// d = 1ms; the middle operator alone costs 2ms -> infeasible, must be
+	// cut off on both sides.
+	g, nodes := mkChain(1000, 10_000, 2_000_000, 10_000)
+	cut := FirstFitDecreasing(g)
+	heavyIn := graph.EdgeKey{From: nodes[1].ID, To: nodes[2].ID, ToPort: 0}
+	heavyOut := graph.EdgeKey{From: nodes[2].ID, To: nodes[3].ID, ToPort: 0}
+	if !cut[heavyIn] || !cut[heavyOut] {
+		t.Fatalf("expensive operator not isolated: %v", cut)
+	}
+}
+
+func TestFFDRespectsCombinedCapacity(t *testing.T) {
+	// Each op costs 0.6ms at d = 1ms: individually feasible, pairwise
+	// not — a queue must separate them.
+	g, nodes := mkChain(1000, 600_000, 600_000)
+	cut := FirstFitDecreasing(g)
+	between := graph.EdgeKey{From: nodes[1].ID, To: nodes[2].ID, ToPort: 0}
+	if !cut[between] {
+		t.Fatalf("combined-capacity violation not cut: %v", cut)
+	}
+}
+
+func TestFFDFanOutSharedPredecessorAbsorbedOnce(t *testing.T) {
+	// src -> a; a -> b and a -> c. Only one of b, c may fuse with a.
+	g := graph.New()
+	s := g.AddSource("s", fakeSource{}, 1000)
+	a := g.AddOp("a", filterOp("a"), 1000, 1)
+	b := g.AddOp("b", filterOp("b"), 1000, 1)
+	c := g.AddOp("c", filterOp("c"), 1000, 1)
+	g.Connect(s, a, 0)
+	eb := g.Connect(a, b, 0)
+	ec := g.Connect(a, c, 0)
+	if err := g.DeriveRates(); err != nil {
+		t.Fatal(err)
+	}
+	cut := FirstFitDecreasing(g)
+	if cut[eb.Key()] == cut[ec.Key()] {
+		t.Fatalf("exactly one of the fan-out edges must be cut: %v", cut)
+	}
+	// Resulting components must be connected and disjoint.
+	comps := g.Components(cut)
+	seen := map[int]bool{}
+	for _, comp := range comps {
+		if !g.UndirectedConnected(comp) {
+			t.Fatalf("disconnected component %v", comp)
+		}
+		for _, id := range comp {
+			if seen[id] {
+				t.Fatalf("node %d in two components", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// Property over random DAGs: every FFD component is connected, covers all
+// source+op nodes exactly once, and every multi-node component has
+// non-negative capacity (the Algorithm 1 constraint — single infeasible
+// nodes are allowed to be negative alone).
+func TestFFDInvariantsOnRandomDAGs(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := 10 + int(nRaw%80)
+		g := RandomDAG(DefaultDAGConfig(n), seed)
+		cut := FirstFitDecreasing(g)
+		comps := g.Components(cut)
+		seen := map[int]bool{}
+		for _, comp := range comps {
+			if !g.UndirectedConnected(comp) {
+				return false
+			}
+			for _, id := range comp {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+			if len(comp) > 1 && vo.Of(g, comp).Cap() < -1e-6 {
+				return false
+			}
+		}
+		count := 0
+		for _, node := range g.Nodes() {
+			if node.Kind != graph.KindSink {
+				count++
+			}
+		}
+		return len(seen) == count
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentGroupsMonotoneCosts(t *testing.T) {
+	// Non-increasing costs along a chain form one segment; a cost
+	// increase starts a new one.
+	g, nodes := mkChain(1000, 300, 200, 100, 500, 400)
+	cut := Segment(g)
+	edge := func(i int) graph.EdgeKey {
+		return graph.EdgeKey{From: nodes[i].ID, To: nodes[i+1].ID, ToPort: 0}
+	}
+	if cut[edge(1)] || cut[edge(2)] {
+		t.Fatalf("monotone run should not be cut: %v", cut)
+	}
+	if !cut[edge(3)] {
+		t.Fatalf("cost increase 100->500 must start a new segment: %v", cut)
+	}
+	if cut[edge(4)] {
+		t.Fatalf("500->400 continues the segment: %v", cut)
+	}
+	if !cut[edge(0)] {
+		t.Fatalf("source edge must be cut by Segment: %v", cut)
+	}
+}
+
+func TestChainCutsAtEnvelopeBoundaries(t *testing.T) {
+	// Cheap selective op then expensive flat op: two envelope segments.
+	g := graph.New()
+	s := g.AddSource("s", fakeSource{}, 1000)
+	a := g.AddOp("a", filterOp("a"), 10, 1)
+	b := g.AddOp("b", filterOp("b"), 10, 0.01)
+	c := g.AddOp("c", filterOp("c"), 100_000, 0.5)
+	e0 := g.Connect(s, a, 0)
+	e1 := g.Connect(a, b, 0)
+	e2 := g.Connect(b, c, 0)
+	if err := g.DeriveRates(); err != nil {
+		t.Fatal(err)
+	}
+	cut := Chain(g)
+	if !cut[e0.Key()] {
+		t.Fatalf("chain head input must be cut: %v", cut)
+	}
+	if cut[e1.Key()] {
+		t.Fatalf("a and b share the steep segment: %v", cut)
+	}
+	if !cut[e2.Key()] {
+		t.Fatalf("segment boundary b|c must be cut: %v", cut)
+	}
+}
+
+func TestCutHelpers(t *testing.T) {
+	g, nodes := mkChain(1000, 10, 10)
+	k := g.AddSink("k", op.NewNull(1))
+	g.Connect(nodes[len(nodes)-1], k, 0)
+
+	// src->f1 and f1->f2 are cut; the sink edge never is.
+	all := CutAll(g)
+	if len(all) != 2 {
+		t.Fatalf("CutAll: %v", all)
+	}
+	srcs := CutSources(g)
+	if len(srcs) != 1 {
+		t.Fatalf("CutSources: %v", srcs)
+	}
+	if len(CutNone(g)) != 0 {
+		t.Fatal("CutNone should be empty")
+	}
+}
+
+func TestRandomDAGDeterministicAndAcyclic(t *testing.T) {
+	a := RandomDAG(DefaultDAGConfig(60), 5)
+	b := RandomDAG(DefaultDAGConfig(60), 5)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different graphs")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed, different edges")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed, different edge sets")
+		}
+	}
+	if _, err := a.TopoOrder(); err != nil {
+		t.Fatalf("random DAG has a cycle: %v", err)
+	}
+	// Rates must be derived and positive on all reachable ops.
+	for _, n := range a.Ops() {
+		if len(a.InEdges(n.ID)) > 0 && n.RateHz <= 0 {
+			t.Fatalf("op %d has no derived rate", n.ID)
+		}
+	}
+}
+
+func TestRandomDAGSeedsDiffer(t *testing.T) {
+	a := RandomDAG(DefaultDAGConfig(60), 1)
+	b := RandomDAG(DefaultDAGConfig(60), 2)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) == len(eb) {
+		same := true
+		for i := range ea {
+			if ea[i] != eb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package placement
+
+import (
+	"math"
+
+	"github.com/dsms/hmts/internal/graph"
+	"github.com/dsms/hmts/internal/xrand"
+)
+
+// DAGConfig parameterizes the random query graphs of the §6.7 experiment.
+// The paper only states "random DAGs, varying the number of nodes from 10
+// to 1000", so the generator is explicit and seeded for reproducibility.
+type DAGConfig struct {
+	// Nodes is the total node count (sources + operators).
+	Nodes int
+	// SourceFrac is the fraction of nodes that are sources (at least one).
+	SourceFrac float64
+	// ChainBias is the probability that an operator takes a single
+	// predecessor from the previous layer, forming chain-like runs the
+	// Segment and Chain baselines can act on; otherwise it takes two
+	// predecessors from anywhere upstream (fan-in).
+	ChainBias float64
+	// RateLoHz/RateHiHz bound the uniform source emission rates.
+	RateLoHz, RateHiHz float64
+	// CostLoNS/CostHiNS bound the log-uniform operator costs.
+	CostLoNS, CostHiNS float64
+	// SelLo/SelHi bound the uniform operator selectivities.
+	SelLo, SelHi float64
+}
+
+// DefaultDAGConfig returns the configuration used by the Figure 11
+// reproduction: mostly chain-shaped graphs whose operator costs span the
+// rates, so some partitions are capacity-tight and stalls are possible.
+func DefaultDAGConfig(nodes int) DAGConfig {
+	return DAGConfig{
+		Nodes:      nodes,
+		SourceFrac: 0.1,
+		ChainBias:  0.75,
+		RateLoHz:   20,
+		RateHiHz:   2000,
+		CostLoNS:   5e3,  // 5µs
+		CostHiNS:   20e6, // 20ms
+		SelLo:      0.2,
+		SelHi:      1.0,
+	}
+}
+
+// RandomDAG generates a planning-only query graph (no runtime operators)
+// according to cfg, deterministically from seed, and derives its rates.
+// Nodes are arranged in ~√n layers; sources occupy layer zero.
+func RandomDAG(cfg DAGConfig, seed uint64) *graph.Graph {
+	if cfg.Nodes < 2 {
+		panic("placement: RandomDAG needs at least two nodes")
+	}
+	rng := xrand.New(seed)
+	g := graph.New()
+
+	nSrc := int(float64(cfg.Nodes) * cfg.SourceFrac)
+	if nSrc < 1 {
+		nSrc = 1
+	}
+	nOps := cfg.Nodes - nSrc
+	if nOps < 1 {
+		nOps = 1
+		nSrc = cfg.Nodes - 1
+	}
+
+	var layers [][]*graph.Node
+	srcLayer := make([]*graph.Node, 0, nSrc)
+	for i := 0; i < nSrc; i++ {
+		rate := rng.Uniform(cfg.RateLoHz, cfg.RateHiHz)
+		srcLayer = append(srcLayer, g.AddSource("src", nil, rate))
+	}
+	layers = append(layers, srcLayer)
+
+	nLayers := int(math.Sqrt(float64(nOps)))
+	if nLayers < 1 {
+		nLayers = 1
+	}
+	perLayer := (nOps + nLayers - 1) / nLayers
+	made := 0
+	for made < nOps {
+		k := perLayer
+		if nOps-made < k {
+			k = nOps - made
+		}
+		layer := make([]*graph.Node, 0, k)
+		prev := layers[len(layers)-1]
+		for i := 0; i < k; i++ {
+			cost := logUniform(rng, cfg.CostLoNS, cfg.CostHiNS)
+			sel := rng.Uniform(cfg.SelLo, cfg.SelHi)
+			n := g.AddOp("op", nil, cost, sel)
+			if rng.Bool(cfg.ChainBias) {
+				p := prev[rng.Intn(len(prev))]
+				g.Connect(p, n, 0)
+			} else {
+				a := pickUpstream(rng, layers)
+				b := pickUpstream(rng, layers)
+				g.Connect(a, n, 0)
+				if b != a {
+					g.Connect(b, n, 1)
+				}
+			}
+			layer = append(layer, n)
+		}
+		layers = append(layers, layer)
+		made += k
+	}
+	if err := g.DeriveRates(); err != nil {
+		panic("placement: " + err.Error())
+	}
+	return g
+}
+
+func pickUpstream(rng *xrand.Rand, layers [][]*graph.Node) *graph.Node {
+	li := rng.Intn(len(layers))
+	l := layers[li]
+	return l[rng.Intn(len(l))]
+}
+
+// logUniform draws log-uniformly from [lo, hi].
+func logUniform(rng *xrand.Rand, lo, hi float64) float64 {
+	return math.Exp(rng.Uniform(math.Log(lo), math.Log(hi)))
+}

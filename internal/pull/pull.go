@@ -1,0 +1,331 @@
+// Package pull implements the paper's pull-based processing alternative
+// (§2.2): operators satisfying the open-next-close (ONC) interface,
+// connected by queues, driven by a scheduler that invokes the tree roots.
+// Virtual operators are built by replacing interior queues with proxies
+// (§3.2, Figure 2), so the scheduler only calls the VO's root.
+//
+// The paper ultimately rejects pull-based processing for its DSMS (§3.4:
+// pull VOs are restricted to trees and cannot share subqueries) and this
+// repository's engine is push-based; the pull substrate exists to
+// reproduce that comparison — tests verify both paradigms compute the
+// same results, and benches measure the per-element overhead difference.
+//
+// The §2.2 hasNext ambiguity ("no element right now" versus "no element
+// ever again") is made explicit in the Iterator contract: Next reports
+// one of three states instead of smuggling a sentinel element through the
+// stream.
+package pull
+
+import (
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// State is the tri-state result of Iterator.Next.
+type State int
+
+// Next states.
+const (
+	// Ready: an element was returned.
+	Ready State = iota
+	// Starved: nothing available right now, but more may come — the
+	// scheduler should try again later.
+	Starved
+	// EOS: no element will ever be delivered again.
+	EOS
+)
+
+// Iterator is an ONC (open-next-close) operator.
+type Iterator interface {
+	// Open prepares the iterator (and its inputs) for consumption.
+	Open()
+	// Next attempts to produce the next element.
+	Next() (stream.Element, State)
+	// Close releases resources; no Next may follow.
+	Close()
+}
+
+// Queue adapts a push producer to a pull consumer: the producer calls
+// Push/Finish (e.g. a source goroutine), the consumer Next. It is the
+// "intermediate queue" of §2.2, non-blocking on the consumer side.
+type Queue struct {
+	ch     chan stream.Element
+	closed chan struct{}
+	opened bool
+}
+
+// NewQueue returns a queue with the given buffer capacity.
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{ch: make(chan stream.Element, capacity), closed: make(chan struct{})}
+}
+
+// Push enqueues one element, blocking while the buffer is full.
+func (q *Queue) Push(e stream.Element) { q.ch <- e }
+
+// Finish marks end of stream.
+func (q *Queue) Finish() { close(q.closed) }
+
+// Open implements Iterator.
+func (q *Queue) Open() { q.opened = true }
+
+// Next implements Iterator.
+func (q *Queue) Next() (stream.Element, State) {
+	select {
+	case e := <-q.ch:
+		return e, Ready
+	default:
+	}
+	select {
+	case e := <-q.ch:
+		return e, Ready
+	case <-q.closed:
+		// Drain any element racing with Finish.
+		select {
+		case e := <-q.ch:
+			return e, Ready
+		default:
+			return stream.Element{}, EOS
+		}
+	default:
+		return stream.Element{}, Starved
+	}
+}
+
+// Close implements Iterator.
+func (q *Queue) Close() {}
+
+// Select is the pull-based selection.
+type Select struct {
+	in   Iterator
+	pred func(stream.Element) bool
+}
+
+// NewSelect returns a pull selection over in.
+func NewSelect(in Iterator, pred func(stream.Element) bool) *Select {
+	return &Select{in: in, pred: pred}
+}
+
+// Open implements Iterator.
+func (s *Select) Open() { s.in.Open() }
+
+// Next implements Iterator: it pulls from its input until an element
+// qualifies, the input starves, or the stream ends.
+func (s *Select) Next() (stream.Element, State) {
+	for {
+		e, st := s.in.Next()
+		if st != Ready {
+			return stream.Element{}, st
+		}
+		if s.pred(e) {
+			return e, Ready
+		}
+	}
+}
+
+// Close implements Iterator.
+func (s *Select) Close() { s.in.Close() }
+
+// Project is the pull-based transformation.
+type Project struct {
+	in Iterator
+	fn func(stream.Element) stream.Element
+}
+
+// NewProject returns a pull transformation over in.
+func NewProject(in Iterator, fn func(stream.Element) stream.Element) *Project {
+	return &Project{in: in, fn: fn}
+}
+
+// Open implements Iterator.
+func (p *Project) Open() { p.in.Open() }
+
+// Next implements Iterator.
+func (p *Project) Next() (stream.Element, State) {
+	e, st := p.in.Next()
+	if st != Ready {
+		return stream.Element{}, st
+	}
+	return p.fn(e), Ready
+}
+
+// Close implements Iterator.
+func (p *Project) Close() { p.in.Close() }
+
+// Join is a pull-based symmetric hash join over two inputs with a sliding
+// event-time window. It merges its inputs in timestamp order — one element
+// per side is held peeked and the earlier one is absorbed first — so that
+// window expiry sees the same arrival order a timestamp-fair push
+// deployment would produce. If one input starves while the other has
+// data, the available side proceeds (bounded waiting would stall the
+// scheduler thread). Pending matches from one probe are buffered and
+// returned one per Next call, as ONC requires.
+type Join struct {
+	l, r    Iterator
+	window  int64
+	sides   [2]joinSide
+	pending []stream.Element
+	peeked  [2]*stream.Element
+	eos     [2]bool
+}
+
+type joinSide struct {
+	table map[int64][]stream.Element
+	order []stream.Element
+}
+
+// NewJoin returns a pull symmetric hash join with the given window in
+// nanoseconds.
+func NewJoin(l, r Iterator, window int64) *Join {
+	j := &Join{l: l, r: r, window: window}
+	j.sides[0].table = make(map[int64][]stream.Element)
+	j.sides[1].table = make(map[int64][]stream.Element)
+	return j
+}
+
+// Open implements Iterator.
+func (j *Join) Open() {
+	j.l.Open()
+	j.r.Open()
+}
+
+// Next implements Iterator.
+func (j *Join) Next() (stream.Element, State) {
+	for {
+		if len(j.pending) > 0 {
+			e := j.pending[0]
+			j.pending = j.pending[1:]
+			return e, Ready
+		}
+		if j.eos[0] && j.eos[1] && j.peeked[0] == nil && j.peeked[1] == nil {
+			return stream.Element{}, EOS
+		}
+		// Refill the per-side peek buffers.
+		starvedSides := 0
+		for side := 0; side < 2; side++ {
+			if j.peeked[side] != nil || j.eos[side] {
+				continue
+			}
+			in := j.l
+			if side == 1 {
+				in = j.r
+			}
+			e, st := in.Next()
+			switch st {
+			case Ready:
+				c := e
+				j.peeked[side] = &c
+			case EOS:
+				j.eos[side] = true
+			case Starved:
+				starvedSides++
+			}
+		}
+		// Absorb the earlier peeked element; if only one side has data
+		// and the other is merely starved, proceed with what we have —
+		// blocking would stall the scheduler thread.
+		pick := -1
+		switch {
+		case j.peeked[0] != nil && j.peeked[1] != nil:
+			pick = 0
+			if j.peeked[1].TS < j.peeked[0].TS {
+				pick = 1
+			}
+		case j.peeked[0] != nil:
+			pick = 0
+		case j.peeked[1] != nil:
+			pick = 1
+		}
+		if pick < 0 {
+			if j.eos[0] && j.eos[1] {
+				return stream.Element{}, EOS
+			}
+			return stream.Element{}, Starved
+		}
+		if starvedSides > 0 && j.peekedOnlyFutureOf(pick) {
+			// The other side may still deliver earlier timestamps; with
+			// nothing else to do this turn, report starvation instead of
+			// absorbing out of order. Only applies while the other side
+			// is alive and merely starved.
+			return stream.Element{}, Starved
+		}
+		e := *j.peeked[pick]
+		j.peeked[pick] = nil
+		j.absorb(pick, e)
+	}
+}
+
+// peekedOnlyFutureOf reports whether absorbing side pick now could run
+// ahead of a merely-starved (not EOS) opposite side. Holding back keeps
+// the merge in timestamp order when the opposite producer is just slow.
+func (j *Join) peekedOnlyFutureOf(pick int) bool {
+	other := 1 - pick
+	return !j.eos[other] && j.peeked[other] == nil
+}
+
+// absorb inserts an arrival and queues its matches.
+func (j *Join) absorb(side int, e stream.Element) {
+	deadline := e.TS - j.window
+	for s := 0; s < 2; s++ {
+		j.expire(s, deadline)
+	}
+	own, other := &j.sides[side], &j.sides[1-side]
+	own.table[e.Key] = append(own.table[e.Key], e)
+	own.order = append(own.order, e)
+	for _, m := range other.table[e.Key] {
+		d := e.TS - m.TS
+		if d < 0 {
+			d = -d
+		}
+		if d >= j.window {
+			continue
+		}
+		ts := e.TS
+		if m.TS > ts {
+			ts = m.TS
+		}
+		j.pending = append(j.pending, stream.Element{TS: ts, Key: e.Key, Val: e.Val + m.Val})
+	}
+}
+
+func (j *Join) expire(side int, deadline int64) {
+	s := &j.sides[side]
+	for len(s.order) > 0 && s.order[0].TS <= deadline {
+		e := s.order[0]
+		s.order = s.order[1:]
+		bucket := s.table[e.Key]
+		if len(bucket) == 1 {
+			delete(s.table, e.Key)
+		} else {
+			s.table[e.Key] = bucket[1:]
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *Join) Close() {
+	j.l.Close()
+	j.r.Close()
+}
+
+// Proxy is the §3.2 VO-internal queue replacement: instead of buffering,
+// its Next simply pulls from its child. Placing proxies on a VO's interior
+// edges means the scheduler only ever invokes the VO's root — exactly
+// Figure 2's transformation. (It is the identity iterator; its value is
+// making the construction explicit and symmetrical with the push DI.)
+type Proxy struct {
+	in Iterator
+}
+
+// NewProxy wraps in.
+func NewProxy(in Iterator) *Proxy { return &Proxy{in: in} }
+
+// Open implements Iterator.
+func (p *Proxy) Open() { p.in.Open() }
+
+// Next implements Iterator.
+func (p *Proxy) Next() (stream.Element, State) { return p.in.Next() }
+
+// Close implements Iterator.
+func (p *Proxy) Close() { p.in.Close() }

@@ -1,0 +1,50 @@
+package pull
+
+import (
+	"testing"
+
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// BenchmarkPullVOChain measures the per-element cost of a 5-selection pull
+// VO (proxies inside, Figure 2) — compare with BenchmarkChainDI5 in
+// package op, the push DI equivalent (§3.4's trade-off made measurable).
+func BenchmarkPullVOChain(b *testing.B) {
+	q := NewQueue(1 << 16)
+	pass := func(e stream.Element) bool { return true }
+	rootIt := Chain(q,
+		func(in Iterator) Iterator { return NewSelect(in, pass) },
+		func(in Iterator) Iterator { return NewSelect(in, pass) },
+		func(in Iterator) Iterator { return NewSelect(in, pass) },
+		func(in Iterator) Iterator { return NewSelect(in, pass) },
+		func(in Iterator) Iterator { return NewSelect(in, pass) },
+	)
+	rootIt.Open()
+	defer rootIt.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(stream.Element{TS: int64(i), Key: int64(i)})
+		if _, st := rootIt.Next(); st != Ready {
+			b.Fatalf("state %v", st)
+		}
+	}
+}
+
+// BenchmarkPushVOChain is the same pipeline via push DI, for a direct
+// comparison in one package.
+func BenchmarkPushVOChain(b *testing.B) {
+	head := op.NewFilter("f0", func(stream.Element) bool { return true })
+	prev := op.Operator(head)
+	for i := 1; i < 5; i++ {
+		f := op.NewFilter("f", func(stream.Element) bool { return true })
+		prev.Subscribe(f, 0)
+		prev = f
+	}
+	sink := op.NewNull(1)
+	prev.Subscribe(sink, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		head.Process(0, stream.Element{TS: int64(i), Key: int64(i)})
+	}
+}

@@ -1,0 +1,100 @@
+package pull
+
+import (
+	"time"
+
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// SinkFunc consumes results produced by a scheduled root iterator.
+type SinkFunc func(stream.Element)
+
+// root is one scheduled tree root.
+type root struct {
+	it   Iterator
+	sink SinkFunc
+	eos  bool
+}
+
+// Scheduler drives a set of ONC tree roots — the pull-based counterpart
+// of a graph-threaded scheduler: it round-robins over the roots, pulling
+// batches of results, and parks briefly when every root is starved.
+type Scheduler struct {
+	roots []*root
+	batch int
+	park  time.Duration
+}
+
+// NewScheduler returns a scheduler pulling up to batch elements per root
+// per turn (default 64).
+func NewScheduler(batch int) *Scheduler {
+	if batch < 1 {
+		batch = 64
+	}
+	return &Scheduler{batch: batch, park: 100 * time.Microsecond}
+}
+
+// Add registers a root iterator and the sink receiving its results. The
+// tree restriction of pull-based processing (§3.4) is structural: every
+// iterator has exactly one consumer, so sharing a subtree between two
+// roots is impossible by construction.
+func (s *Scheduler) Add(it Iterator, sink SinkFunc) {
+	s.roots = append(s.roots, &root{it: it, sink: sink})
+}
+
+// Run opens every root, pulls until all report EOS, then closes them. It
+// blocks until completion.
+func (s *Scheduler) Run() {
+	for _, r := range s.roots {
+		r.it.Open()
+	}
+	defer func() {
+		for _, r := range s.roots {
+			r.it.Close()
+		}
+	}()
+	for {
+		live := 0
+		starvedAll := true
+		for _, r := range s.roots {
+			if r.eos {
+				continue
+			}
+			live++
+			for i := 0; i < s.batch; i++ {
+				e, st := r.it.Next()
+				switch st {
+				case Ready:
+					starvedAll = false
+					r.sink(e)
+					continue
+				case EOS:
+					r.eos = true
+				}
+				break
+			}
+		}
+		if live == 0 {
+			return
+		}
+		if starvedAll {
+			// Every live root is waiting on upstream queues; yield the
+			// thread briefly instead of spinning.
+			time.Sleep(s.park)
+		}
+	}
+}
+
+// Chain builds a pull VO from a linear chain of unary stages over an
+// input: interior edges get proxies (§3.2), so only the returned root is
+// scheduled. Stage order is input-side first.
+func Chain(in Iterator, stages ...func(Iterator) Iterator) Iterator {
+	cur := in
+	for i, mk := range stages {
+		if i > 0 {
+			cur = NewProxy(cur)
+		}
+		cur = mk(cur)
+	}
+	return cur
+}

@@ -1,0 +1,367 @@
+// Package queue implements the decoupling queue of the paper, modeled — as
+// in §2.4 — as an operator in its own right. A queue placed on an edge ends
+// direct interoperability there: upstream operators enqueue and return
+// immediately, and a scheduler later drains the queue into the downstream
+// subgraph. Queues have no semantic effect; they exist purely so that
+// threads can be assigned to the subgraphs between them.
+package queue
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsms/hmts/internal/stats"
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// Queue is a FIFO buffer between graph partitions. The upstream side is an
+// op.Sink (Process/Done, safe for concurrent producers). The downstream
+// side is drained in batches by exactly one scheduler at a time via Drain,
+// which pushes dequeued elements into the subscribed sinks using DI.
+//
+// A bound of 0 means unbounded; a positive bound blocks producers when the
+// queue is full, providing backpressure.
+type Queue struct {
+	name string
+	st   *stats.OpStats
+
+	mu        sync.Mutex
+	buf       []stream.Element
+	head, n   int
+	bound     int
+	producers int
+	doneProds int
+	outClosed bool
+	wake      chan struct{} // closed+replaced when work appears or input closes
+	space     chan struct{} // closed+replaced when room appears (bounded only)
+
+	subs   []sub
+	notify chan<- struct{}
+	poison chan struct{}
+
+	enq, deq atomic.Uint64
+	maxLen   atomic.Int64
+	dropped  atomic.Uint64
+}
+
+type sub struct {
+	sink interface {
+		Process(port int, e stream.Element)
+		Done(port int)
+	}
+	port int
+}
+
+// New returns a queue with the given bound (0 = unbounded) expecting Done
+// from one producer; use SetProducers for merged inputs.
+func New(name string, bound int) *Queue {
+	if bound < 0 {
+		panic("queue: negative bound")
+	}
+	return &Queue{
+		name:      name,
+		st:        stats.NewOpStats(),
+		bound:     bound,
+		producers: 1,
+		wake:      make(chan struct{}),
+		space:     make(chan struct{}),
+		poison:    make(chan struct{}),
+		buf:       make([]stream.Element, 16),
+	}
+}
+
+// Poison aborts the queue for shutdown: producers blocked on a full
+// bounded queue are released (their elements are dropped) and future
+// enqueues are dropped too. It is idempotent and used by Deployment.Stop
+// so that teardown can never deadlock behind backpressure.
+func (q *Queue) Poison() {
+	q.mu.Lock()
+	select {
+	case <-q.poison:
+	default:
+		close(q.poison)
+	}
+	q.mu.Unlock()
+}
+
+// Dropped returns how many elements were discarded due to poisoning.
+func (q *Queue) Dropped() uint64 { return q.dropped.Load() }
+
+// Name returns the queue's display name.
+func (q *Queue) Name() string { return q.name }
+
+// Stats returns the queue's runtime statistics; its interarrival estimate
+// is the input rate of the partition the queue feeds.
+func (q *Queue) Stats() *stats.OpStats { return q.st }
+
+// Ins implements op.Operator; data ports are collapsed, so this is 1.
+func (q *Queue) Ins() int { return 1 }
+
+// SetProducers declares how many producers will call Done before the
+// queue's input counts as closed. Call before processing starts.
+func (q *Queue) SetProducers(n int) {
+	if n < 1 {
+		panic("queue: need at least one producer")
+	}
+	q.mu.Lock()
+	q.producers = n
+	q.mu.Unlock()
+}
+
+// Subscribe attaches a downstream sink; Drain delivers into it.
+func (q *Queue) Subscribe(s interface {
+	Process(port int, e stream.Element)
+	Done(port int)
+}, port int) {
+	q.subs = append(q.subs, sub{sink: s, port: port})
+}
+
+// Unsubscribe detaches a previously subscribed edge.
+func (q *Queue) Unsubscribe(s interface {
+	Process(port int, e stream.Element)
+	Done(port int)
+}, port int) {
+	for i, e := range q.subs {
+		if e.sink == s && e.port == port {
+			q.subs = append(q.subs[:i], q.subs[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("queue: Unsubscribe of unknown edge from %q", q.name))
+}
+
+// SetNotify registers a channel that receives a non-blocking token
+// whenever the queue gains work (becomes non-empty, or its input closes).
+// A partition executor shares one channel across all its queues and blocks
+// on it when idle. Passing nil unregisters.
+func (q *Queue) SetNotify(ch chan<- struct{}) {
+	q.mu.Lock()
+	q.notify = ch
+	q.mu.Unlock()
+}
+
+// ping sends a non-blocking token to the registered notify channel.
+func (q *Queue) ping(ch chan<- struct{}) {
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// FrontTS returns the event timestamp of the oldest buffered element, or
+// false if the queue is empty. FIFO strategies use it to process elements
+// in global arrival order.
+func (q *Queue) FrontTS() (int64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return 0, false
+	}
+	return q.buf[q.head].TS, true
+}
+
+// Len returns the number of buffered elements; it is the gauge the memory
+// sampler reads for Figure 9.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// MaxLen returns the high-water mark of the buffer.
+func (q *Queue) MaxLen() int { return int(q.maxLen.Load()) }
+
+// Enqueued returns the total number of elements ever enqueued.
+func (q *Queue) Enqueued() uint64 { return q.enq.Load() }
+
+// Dequeued returns the total number of elements ever dequeued.
+func (q *Queue) Dequeued() uint64 { return q.deq.Load() }
+
+// InputClosed reports whether every producer has signaled Done.
+func (q *Queue) InputClosed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.doneProds >= q.producers
+}
+
+// Closed reports whether the queue is fully finished: input closed, buffer
+// drained, and Done propagated downstream.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.outClosed
+}
+
+// Process implements op.Sink: it enqueues the element, blocking while a
+// bounded queue is full. Enqueueing after all producers signaled Done
+// panics — that is always an engine bug.
+func (q *Queue) Process(_ int, e stream.Element) {
+	q.mu.Lock()
+	select {
+	case <-q.poison:
+		q.mu.Unlock()
+		q.dropped.Add(1)
+		return
+	default:
+	}
+	for q.bound > 0 && q.n >= q.bound {
+		ch := q.space
+		q.mu.Unlock()
+		select {
+		case <-ch:
+		case <-q.poison:
+			q.dropped.Add(1)
+			return
+		}
+		q.mu.Lock()
+	}
+	if q.doneProds >= q.producers {
+		q.mu.Unlock()
+		panic(fmt.Sprintf("queue: enqueue into closed queue %q", q.name))
+	}
+	q.push(e)
+	wasEmpty := q.n == 1
+	if int64(q.n) > q.maxLen.Load() {
+		q.maxLen.Store(int64(q.n))
+	}
+	var wake chan struct{}
+	var notify chan<- struct{}
+	if wasEmpty {
+		wake = q.wake
+		q.wake = make(chan struct{})
+		notify = q.notify
+	}
+	q.mu.Unlock()
+
+	q.enq.Add(1)
+	q.st.RecordIn(e.TS)
+	if wake != nil {
+		close(wake)
+	}
+	q.ping(notify)
+}
+
+// Done implements op.Sink: it counts producer end-of-stream signals. The
+// downstream Done is not sent here — it is sent by the draining scheduler
+// once the buffer is empty, preserving element/EOS ordering.
+func (q *Queue) Done(int) {
+	q.mu.Lock()
+	q.doneProds++
+	var wake chan struct{}
+	var notify chan<- struct{}
+	if q.doneProds >= q.producers {
+		wake = q.wake
+		q.wake = make(chan struct{})
+		notify = q.notify
+	}
+	q.mu.Unlock()
+	if wake != nil {
+		close(wake)
+	}
+	q.ping(notify)
+}
+
+// push appends to the ring buffer, growing it as needed. Caller holds mu.
+func (q *Queue) push(e stream.Element) {
+	if q.n == len(q.buf) {
+		bigger := make([]stream.Element, 2*len(q.buf))
+		m := copy(bigger, q.buf[q.head:])
+		copy(bigger[m:], q.buf[:q.head])
+		q.buf = bigger
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+}
+
+// pop removes the oldest element. Caller holds mu and guarantees n > 0.
+func (q *Queue) pop() stream.Element {
+	e := q.buf[q.head]
+	q.buf[q.head] = stream.Element{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}
+
+// Drain dequeues up to max elements, delivering each to every subscriber
+// via DI, and reports how many were delivered and whether the queue can
+// still yield work in the future (open == false exactly once the queue has
+// closed downstream). Only one goroutine may call Drain at a time; that is
+// the scheduler owning this queue's partition.
+func (q *Queue) Drain(max int) (delivered int, open bool) {
+	if max <= 0 {
+		max = 1
+	}
+	for delivered < max {
+		q.mu.Lock()
+		if q.n == 0 {
+			if q.doneProds >= q.producers && !q.outClosed {
+				q.outClosed = true
+				q.mu.Unlock()
+				for _, s := range q.subs {
+					s.sink.Done(s.port)
+				}
+				return delivered, false
+			}
+			closed := q.outClosed
+			q.mu.Unlock()
+			return delivered, !closed
+		}
+		e := q.pop()
+		var space chan struct{}
+		if q.bound > 0 && q.n == q.bound-1 {
+			space = q.space
+			q.space = make(chan struct{})
+		}
+		q.mu.Unlock()
+		if space != nil {
+			close(space)
+		}
+		q.deq.Add(1)
+		q.st.RecordOut(1)
+		for _, s := range q.subs {
+			s.sink.Process(s.port, e)
+		}
+		delivered++
+	}
+	return delivered, true
+}
+
+// HasWork reports whether a Drain call would deliver at least one element
+// or propagate the final Done right now.
+func (q *Queue) HasWork() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n > 0 {
+		return true
+	}
+	return q.doneProds >= q.producers && !q.outClosed
+}
+
+// WaitWork blocks until the queue has work (elements buffered, or a final
+// Done to propagate) or stop is closed. It returns false when the queue is
+// finished or the wait was aborted via stop, true when work is available.
+func (q *Queue) WaitWork(stop <-chan struct{}) bool {
+	for {
+		q.mu.Lock()
+		if q.n > 0 || (q.doneProds >= q.producers && !q.outClosed) {
+			q.mu.Unlock()
+			return true
+		}
+		if q.outClosed {
+			q.mu.Unlock()
+			return false
+		}
+		ch := q.wake
+		q.mu.Unlock()
+		select {
+		case <-ch:
+		case <-stop:
+			return false
+		}
+	}
+}

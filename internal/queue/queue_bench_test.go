@@ -1,0 +1,62 @@
+package queue
+
+import (
+	"testing"
+
+	"github.com/dsms/hmts/internal/stream"
+)
+
+type sinkhole struct{}
+
+func (sinkhole) Process(int, stream.Element) {}
+func (sinkhole) Done(int)                    {}
+
+// BenchmarkEnqueueDequeue measures the single-threaded cost of one element
+// through a queue — the per-edge overhead GTS and OTS pay that DI avoids
+// (the crux of Figure 7).
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New("q", 0)
+	q.Subscribe(sinkhole{}, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Process(0, stream.Element{TS: int64(i)})
+		q.Drain(1)
+	}
+}
+
+// BenchmarkBatchedDrain amortizes the strategy decision over a batch.
+func BenchmarkBatchedDrain(b *testing.B) {
+	q := New("q", 0)
+	q.Subscribe(sinkhole{}, 0)
+	const batch = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			q.Process(0, stream.Element{TS: int64(i + j)})
+		}
+		q.Drain(batch)
+	}
+}
+
+// BenchmarkProducerConsumer measures cross-goroutine handoff — the OTS
+// per-edge cost under real concurrency.
+func BenchmarkProducerConsumer(b *testing.B) {
+	q := New("q", 1024)
+	q.Subscribe(sinkhole{}, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, open := q.Drain(64); !open {
+				return
+			}
+			q.WaitWork(nil)
+		}
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Process(0, stream.Element{TS: int64(i)})
+	}
+	q.Done(0)
+	<-done
+}

@@ -1,0 +1,28 @@
+package sched
+
+import (
+	"github.com/dsms/hmts/internal/envelope"
+	"github.com/dsms/hmts/internal/graph"
+)
+
+// chainMeta computes, for every operator node, the steepness of its Chain
+// lower-envelope segment and its position along its chain. The Chain
+// strategy consults these to favor queues on the steepest segment (paper
+// §4.2.2 and §6.6).
+func chainMeta(g *graph.Graph) (steep map[int]float64, pos map[int]int) {
+	steep = make(map[int]float64)
+	pos = make(map[int]int)
+	for _, chain := range g.Chains() {
+		pts := make([]envelope.OpPoint, len(chain))
+		for i, id := range chain {
+			n := g.Node(id)
+			pts[i] = envelope.OpPoint{CostNS: n.CostNS, Sel: n.Selectivity}
+		}
+		segOf, slopes := envelope.Segments(pts)
+		for i, id := range chain {
+			steep[id] = slopes[segOf[i]]
+			pos[id] = i
+		}
+	}
+	return steep, pos
+}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exec is a level-2 partition executor: one goroutine that drains a group
+// of queues under a strategy, exactly like a small graph-threaded
+// scheduler over its partition (paper §4.2.2). With a TS attached it
+// cooperates on level 3, running only while it holds a run permit.
+type Exec struct {
+	name    string
+	units   []*Unit
+	strat   Strategy
+	batch   int
+	quantum time.Duration
+	ts      *TS
+	proc    *Proc
+	world   *sync.RWMutex
+
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+
+	// onFail receives the panic value if an operator blows up while this
+	// executor drives it; the deployment fail-stops the whole graph.
+	onFail func(error)
+
+	processed atomic.Uint64
+}
+
+// newExec wires an executor over units. A nil ts disables level 3 (the
+// executor runs whenever it has work, like plain OTS/GTS threads).
+func newExec(name string, units []*Unit, strat Strategy, batch int, quantum time.Duration, ts *TS, prio int, world *sync.RWMutex, onFail func(error)) *Exec {
+	if batch < 1 {
+		batch = 1
+	}
+	x := &Exec{
+		name:    name,
+		units:   units,
+		strat:   strat,
+		batch:   batch,
+		quantum: quantum,
+		ts:      ts,
+		world:   world,
+		notify:  make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		onFail:  onFail,
+	}
+	if ts != nil {
+		x.proc = &Proc{Name: name}
+		x.proc.SetPriority(prio)
+	}
+	for _, u := range units {
+		u.Q.SetNotify(x.notify)
+	}
+	return x
+}
+
+// Name returns the executor's name.
+func (x *Exec) Name() string { return x.name }
+
+// Proc returns the executor's level-3 process handle, or nil without a TS.
+func (x *Exec) Proc() *Proc { return x.proc }
+
+// Processed returns the number of elements this executor has drained.
+func (x *Exec) Processed() uint64 { return x.processed.Load() }
+
+// start launches the executor goroutine.
+func (x *Exec) start() { go x.run() }
+
+// halt asks the executor to exit after its current batch and waits for it.
+func (x *Exec) halt() {
+	select {
+	case <-x.stop:
+	default:
+		close(x.stop)
+	}
+	<-x.done
+}
+
+// wait blocks until the executor exits on its own (all units closed).
+func (x *Exec) wait() { <-x.done }
+
+func (x *Exec) run() {
+	defer close(x.done)
+	for {
+		if x.allClosed() {
+			return
+		}
+		select {
+		case <-x.stop:
+			return
+		default:
+		}
+		if x.ts != nil {
+			if !x.ts.Acquire(x.proc, x.stop) {
+				return
+			}
+		}
+		idle := x.runSlice()
+		if x.ts != nil {
+			x.ts.Release(x.proc)
+		}
+		if idle {
+			if x.allClosed() {
+				return
+			}
+			if !x.waitWork() {
+				return
+			}
+		}
+	}
+}
+
+// runSlice drains units until the quantum expires, stop is requested, or
+// no unit is ready; it reports whether it stopped for lack of work.
+func (x *Exec) runSlice() bool {
+	start := time.Now()
+	for {
+		select {
+		case <-x.stop:
+			return false
+		default:
+		}
+		x.world.RLock()
+		i := x.strat.Pick(x.units)
+		if i < 0 {
+			x.world.RUnlock()
+			return true
+		}
+		u := x.units[i]
+		n, open, err := x.drain(u)
+		x.world.RUnlock()
+		x.processed.Add(uint64(n))
+		if err != nil {
+			// An operator downstream of this queue panicked. Contain it:
+			// stop draining the poisoned partition and fail-stop the
+			// deployment.
+			u.closed = true
+			if x.onFail != nil {
+				x.onFail(err)
+			}
+			return false
+		}
+		if !open {
+			u.closed = true
+		}
+		if x.quantum > 0 && time.Since(start) >= x.quantum {
+			return false
+		}
+	}
+}
+
+// drain runs one batch with gate locking and panic containment.
+func (x *Exec) drain(u *Unit) (n int, open bool, err error) {
+	if u.Gate != nil {
+		u.Gate.Lock()
+		defer u.Gate.Unlock()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: operator panic in partition of %s: %v", u.Q.Name(), r)
+		}
+	}()
+	n, open = u.Q.Drain(x.batch)
+	return n, open, nil
+}
+
+// waitWork blocks until any unit gains work or stop closes; it returns
+// false on stop.
+func (x *Exec) waitWork() bool {
+	for {
+		for _, u := range x.units {
+			if u.ready() {
+				return true
+			}
+		}
+		if x.allClosed() {
+			return false
+		}
+		select {
+		case <-x.notify:
+		case <-x.stop:
+			return false
+		}
+	}
+}
+
+func (x *Exec) allClosed() bool {
+	for _, u := range x.units {
+		if !u.closed {
+			return false
+		}
+	}
+	return true
+}

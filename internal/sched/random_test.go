@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dsms/hmts/internal/graph"
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/stream"
+	"github.com/dsms/hmts/internal/workload"
+	"github.com/dsms/hmts/internal/xrand"
+)
+
+// randomQuery builds a random but mode-deterministic query graph: per
+// source a chain of order-insensitive stateful/stateless operators, the
+// sources combined by a wide-window join or a union, then stateless
+// post-processing. Every construct is chosen so the result multiset does
+// not depend on cross-thread interleaving (joins use a window wider than
+// the whole stream; order-sensitive operators appear only on single-source
+// chains, where arrival order is the source order in every mode).
+func randomQuery(rng *xrand.Rand) (*graph.Graph, *op.Collector) {
+	g := graph.New()
+	nSrc := 1 + rng.Intn(2)
+	perSrc := 500 + rng.Intn(1500)
+
+	var tails []*graph.Node
+	for s := 0; s < nSrc; s++ {
+		src := workload.New(fmt.Sprintf("src%d", s), perSrc,
+			workload.UniformKeys(0, int64(20+rng.Intn(200)), rng.Uint64()),
+			workload.FixedRate{Hz: 1e6}, nil)
+		node := g.AddSource(src.Name(), src, 1e6)
+		chainLen := rng.Intn(4)
+		for c := 0; c < chainLen; c++ {
+			node = randomStage(g, rng, node, s*10+c)
+		}
+		tails = append(tails, node)
+	}
+
+	var out *graph.Node
+	if len(tails) == 2 {
+		if rng.Bool(0.5) {
+			j := op.NewSHJ("join", int64(24*time.Hour), nil)
+			out = g.AddOp("join", j, 1000, 1)
+			g.Connect(tails[0], out, 0)
+			g.Connect(tails[1], out, 1)
+		} else {
+			u := op.NewUnion("union", 2)
+			out = g.AddOp("union", u, 100, 1)
+			g.Connect(tails[0], out, 0)
+			g.Connect(tails[1], out, 1)
+		}
+	} else {
+		out = tails[0]
+	}
+	// Stateless post-processing (safe under any interleaving).
+	if rng.Bool(0.7) {
+		salt := rng.Uint64()
+		sel := 0.3 + rng.Float64()*0.7
+		f := op.NewFilter("post", func(e stream.Element) bool {
+			return hashFrac(uint64(e.Key), salt) < sel
+		})
+		n := g.AddOp("post", f, 100, sel)
+		g.Connect(out, n, 0)
+		out = n
+	}
+	sink := op.NewCollector(1)
+	nk := g.AddSink("out", sink)
+	g.Connect(out, nk, 0)
+	if err := g.DeriveRates(); err != nil {
+		panic(err)
+	}
+	return g, sink
+}
+
+// randomStage appends one order-insensitive operator to a single-source
+// chain. Distinct and Throttle are order-sensitive in general but
+// deterministic here because a single-source chain sees source order in
+// every mode.
+func randomStage(g *graph.Graph, rng *xrand.Rand, from *graph.Node, tag int) *graph.Node {
+	name := fmt.Sprintf("op%d", tag)
+	switch rng.Intn(5) {
+	case 0:
+		salt := rng.Uint64()
+		sel := 0.4 + rng.Float64()*0.6
+		f := op.NewFilter(name, func(e stream.Element) bool {
+			return hashFrac(uint64(e.Key), salt) < sel
+		})
+		n := g.AddOp(name, f, 100, sel)
+		g.Connect(from, n, 0)
+		return n
+	case 1:
+		m := op.NewMap(name, func(e stream.Element) stream.Element {
+			e.Val = e.Val*2 + 1
+			return e
+		})
+		n := g.AddOp(name, m, 100, 1)
+		g.Connect(from, n, 0)
+		return n
+	case 2:
+		s := op.NewSample(name, 0.5+rng.Float64()*0.5, rng.Uint64())
+		n := g.AddOp(name, s, 100, 0.75)
+		g.Connect(from, n, 0)
+		return n
+	case 3:
+		d := op.NewDistinct(name, int64(time.Millisecond)*int64(1+rng.Intn(5)))
+		n := g.AddOp(name, d, 300, 0.8)
+		g.Connect(from, n, 0)
+		return n
+	default:
+		th := op.NewThrottle(name, 1e5+rng.Float64()*9e5, float64(1+rng.Intn(8)))
+		n := g.AddOp(name, th, 100, 0.7)
+		g.Connect(from, n, 0)
+		return n
+	}
+}
+
+// hashFrac mirrors the helper in package exp.
+func hashFrac(key, salt uint64) float64 {
+	z := key ^ salt
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// TestRandomGraphsAllModesAgree is the cross-mode equivalence fuzz: the
+// same random query must produce the same result multiset under every
+// threading architecture.
+func TestRandomGraphsAllModesAgree(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		var want []string
+		for _, mode := range []struct {
+			name string
+			mk   func(*graph.Graph) Plan
+			ts   bool
+		}{
+			{"gts", GTS, false},
+			{"ots", OTS, false},
+			{"di", DI, false},
+			{"pure-di", PureDI, false},
+			{"hmts", HMTS, true},
+		} {
+			// Rebuild the identical graph for each mode from a fresh
+			// generator with the same seed.
+			gRng := xrand.New(uint64(trial)*7919 + 13)
+			g, sink := randomQuery(gRng)
+			opts := Options{}
+			if mode.ts {
+				opts.TS = &TSConfig{}
+			}
+			d, err := Build(g, mode.mk(g), opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, mode.name, err)
+			}
+			d.Start()
+			d.Wait()
+			sink.Wait()
+			got := sortedKeyVals(sink.Elements())
+			if want == nil {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %s produced %d results, first mode %d",
+					trial, mode.name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: %s result %d = %s, want %s",
+						trial, mode.name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/dsms/hmts/internal/graph"
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/placement"
+	"github.com/dsms/hmts/internal/stream"
+	"github.com/dsms/hmts/internal/workload"
+)
+
+// TestMeasuredStatsSplitStalledVO is the adaptive queue-placement story
+// end to end: the planner is given wrong hints (an expensive operator
+// declared nearly free), so Algorithm 1 fuses everything into one VO.
+// After running on live traffic, re-planning from the *measured* costs
+// must cut the expensive operator out of the VO (paper §5.1.1's stall
+// avoidance, driven by real metadata instead of hints).
+func TestMeasuredStatsSplitStalledVO(t *testing.T) {
+	const rate = 50_000.0
+	g := graph.New()
+	src := workload.New("src", 8_000, workload.SeqKeys(), workload.FixedRate{Hz: rate}, nil)
+	cheap := op.NewMap("cheap", func(e stream.Element) stream.Element { return e })
+	heavy := op.NewCostSim("heavy", 100_000 /* 100µs >> 20µs budget */, nil)
+	sink := op.NewNull(1)
+
+	ns := g.AddSource("src", src, rate)
+	nc := g.AddOp("cheap", cheap, 100, 1)
+	nh := g.AddOp("heavy", heavy, 100 /* lie: hinted ~free */, 1)
+	nk := g.AddSink("sink", sink)
+	g.Connect(ns, nc, 0)
+	heavyIn := g.Connect(nc, nh, 0)
+	g.Connect(nh, nk, 0)
+	if err := g.DeriveRates(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the lying hints, Algorithm 1 fuses the whole chain.
+	before := placement.FirstFitDecreasing(g)
+	if len(before) != 0 {
+		t.Fatalf("hinted plan should fuse everything, got cuts %v", before)
+	}
+
+	d, err := Build(g, Plan{Cut: before}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	d.Wait()
+	sink.Wait()
+
+	// Re-plan from measurements: the heavy operator's measured cost
+	// (~100µs) exceeds d(v) = 20µs, so it must be isolated.
+	g.AdoptMeasuredStats()
+	if err := g.DeriveRates(); err != nil {
+		t.Fatal(err)
+	}
+	after := placement.FirstFitDecreasing(g)
+	if !after[heavyIn.Key()] {
+		t.Fatalf("measured re-plan did not cut the stalled operator's input: %v", after)
+	}
+	if c := g.Node(nh.ID).CostNS; c < 50_000 {
+		t.Fatalf("measured cost not adopted: %v ns", c)
+	}
+}

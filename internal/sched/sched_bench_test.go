@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTSAcquireRelease measures the level-3 arbitration cost per
+// quantum.
+func BenchmarkTSAcquireRelease(b *testing.B) {
+	ts := NewTS(2, 1)
+	p := &Proc{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !ts.Acquire(p, nil) {
+			b.Fatal("acquire failed")
+		}
+		ts.Release(p)
+	}
+}
+
+// BenchmarkStrategyPick measures one scheduling decision over 32 queues.
+func BenchmarkStrategyPick(b *testing.B) {
+	units := make([]*Unit, 32)
+	for i := range units {
+		units[i] = unitWith("q", int64(i), int64(i+100))
+		units[i].Steepness = float64(i % 7)
+	}
+	for _, s := range []Strategy{FIFO{}, &RoundRobin{}, Chain{}, MaxQueue{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if s.Pick(units) < 0 {
+					b.Fatal("no pick")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeployBuild measures deployment construction for a mid-size
+// graph — the fixed cost of every Reconfigure.
+func BenchmarkDeployBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, _ := chainGraph(0)
+		d, err := Build(g, GTS(g), Options{Quantum: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = d
+	}
+}

@@ -1,0 +1,28 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStopWithBlockedProducer: Stop must never deadlock behind a producer
+// parked on a full bounded queue whose executor has already halted. Run a
+// few rounds to cover the timing window.
+func TestStopWithBlockedProducer(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		g, _ := chainGraph(10_000_000)
+		d, err := Build(g, GTS(g), Options{QueueBound: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		time.Sleep(time.Duration(round) * 3 * time.Millisecond)
+		done := make(chan struct{})
+		go func() { d.Stop(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Stop deadlocked with a producer blocked on a full bounded queue")
+		}
+	}
+}

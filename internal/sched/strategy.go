@@ -1,0 +1,141 @@
+package sched
+
+import "math"
+
+// Strategy selects which of an executor's units to drain next — the
+// pluggable level-2 policy of the architecture (paper §4.2.2: "it is
+// possible to choose arbitrary strategies on the second level"). Pick
+// returns the index of a unit that is ready (non-closed with work), or -1
+// if none is. Strategies are owned by a single executor and need no
+// internal locking.
+type Strategy interface {
+	Name() string
+	Pick(units []*Unit) int
+}
+
+// FIFO processes elements in global arrival order: it picks the ready unit
+// whose oldest buffered element has the smallest event timestamp. FIFO
+// maximizes early results at the price of memory (paper §6.6).
+type FIFO struct{}
+
+// Name implements Strategy.
+func (FIFO) Name() string { return "fifo" }
+
+// Pick implements Strategy.
+func (FIFO) Pick(units []*Unit) int {
+	best, bestTS := -1, int64(math.MaxInt64)
+	for i, u := range units {
+		if !u.ready() {
+			continue
+		}
+		ts, ok := u.Q.FrontTS()
+		if !ok {
+			// Empty but with a pending Done to propagate: do it first,
+			// it is free and unblocks downstream completion.
+			return i
+		}
+		if ts < bestTS {
+			best, bestTS = i, ts
+		}
+	}
+	return best
+}
+
+// RoundRobin cycles through ready units, giving each an equal share of
+// drain batches.
+type RoundRobin struct{ last int }
+
+// Name implements Strategy.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Pick implements Strategy.
+func (r *RoundRobin) Pick(units []*Unit) int {
+	n := len(units)
+	for k := 1; k <= n; k++ {
+		i := (r.last + k) % n
+		if units[i].ready() {
+			r.last = i
+			return i
+		}
+	}
+	return -1
+}
+
+// Chain is the memory-minimizing strategy of Babcock et al. (SIGMOD 2003):
+// among ready units it favors the one whose operator lies on the
+// lower-envelope segment with the steepest descent (fastest memory
+// release), breaking ties toward operators earlier in the chain and then
+// toward older elements. The per-unit steepness is computed at deployment
+// from the progress charts of the query graph.
+type Chain struct{}
+
+// Name implements Strategy.
+func (Chain) Name() string { return "chain" }
+
+// Pick implements Strategy.
+func (Chain) Pick(units []*Unit) int {
+	best := -1
+	var bestSteep float64
+	bestPos := math.MaxInt
+	bestTS := int64(math.MaxInt64)
+	for i, u := range units {
+		if !u.ready() {
+			continue
+		}
+		ts, ok := u.Q.FrontTS()
+		if !ok {
+			return i // pending Done, free to propagate
+		}
+		better := false
+		switch {
+		case best == -1 || u.Steepness > bestSteep:
+			better = true
+		case u.Steepness == bestSteep && u.SegPos < bestPos:
+			better = true
+		case u.Steepness == bestSteep && u.SegPos == bestPos && ts < bestTS:
+			better = true
+		}
+		if better {
+			best, bestSteep, bestPos, bestTS = i, u.Steepness, u.SegPos, ts
+		}
+	}
+	return best
+}
+
+// MaxQueue drains the longest ready queue first — a simple
+// backlog-oriented baseline used by the ablation benches.
+type MaxQueue struct{}
+
+// Name implements Strategy.
+func (MaxQueue) Name() string { return "maxqueue" }
+
+// Pick implements Strategy.
+func (MaxQueue) Pick(units []*Unit) int {
+	best, bestLen := -1, -1
+	for i, u := range units {
+		if !u.ready() {
+			continue
+		}
+		if l := u.Q.Len(); l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// NewStrategy returns a fresh strategy instance by name ("fifo",
+// "roundrobin", "chain", "maxqueue"); it panics on unknown names.
+// Strategies carry per-executor state, so each executor needs its own.
+func NewStrategy(name string) Strategy {
+	switch name {
+	case "fifo", "":
+		return FIFO{}
+	case "roundrobin":
+		return &RoundRobin{}
+	case "chain":
+		return Chain{}
+	case "maxqueue":
+		return MaxQueue{}
+	}
+	panic("sched: unknown strategy " + name)
+}

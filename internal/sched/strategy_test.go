@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/dsms/hmts/internal/queue"
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// devnull is the minimal downstream for test queues.
+type devnull struct{}
+
+func (devnull) Process(int, stream.Element) {}
+func (devnull) Done(int)                    {}
+
+// unitWith returns a unit whose queue holds elements with the given
+// timestamps.
+func unitWith(name string, tss ...int64) *Unit {
+	q := queue.New(name, 0)
+	q.Subscribe(devnull{}, 0)
+	for _, ts := range tss {
+		q.Process(0, stream.Element{TS: ts})
+	}
+	return &Unit{Q: q}
+}
+
+func TestFIFOPicksOldest(t *testing.T) {
+	units := []*Unit{unitWith("a", 30), unitWith("b", 10), unitWith("c", 20)}
+	if got := (FIFO{}).Pick(units); got != 1 {
+		t.Fatalf("picked %d, want 1", got)
+	}
+}
+
+func TestFIFOSkipsEmptyAndClosed(t *testing.T) {
+	empty := unitWith("e")
+	closed := unitWith("c", 5)
+	closed.closed = true
+	units := []*Unit{empty, closed, unitWith("x", 50)}
+	if got := (FIFO{}).Pick(units); got != 2 {
+		t.Fatalf("picked %d, want 2", got)
+	}
+	if got := (FIFO{}).Pick([]*Unit{empty, closed}); got != -1 {
+		t.Fatalf("picked %d from unready units, want -1", got)
+	}
+}
+
+func TestFIFOPrefersPendingDone(t *testing.T) {
+	pending := unitWith("p")
+	pending.Q.Done(0) // empty but must propagate Done
+	units := []*Unit{unitWith("x", 1), pending}
+	if got := (FIFO{}).Pick(units); got != 1 {
+		t.Fatalf("picked %d, want the pending-Done unit", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := &RoundRobin{}
+	units := []*Unit{unitWith("a", 1, 1), unitWith("b", 1, 1), unitWith("c", 1, 1)}
+	// The rotor starts after index 0, so the cycle begins at 1.
+	got := []int{r.Pick(units), r.Pick(units), r.Pick(units), r.Pick(units)}
+	want := []int{1, 2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChainPicksSteepest(t *testing.T) {
+	a := unitWith("a", 10)
+	a.Steepness = 0.5
+	b := unitWith("b", 5)
+	b.Steepness = 2.0
+	c := unitWith("c", 1)
+	c.Steepness = 1.0
+	if got := (Chain{}).Pick([]*Unit{a, b, c}); got != 1 {
+		t.Fatalf("picked %d, want steepest", got)
+	}
+}
+
+func TestChainTieBreaksByPosition(t *testing.T) {
+	a := unitWith("a", 10)
+	a.Steepness, a.SegPos = 1.0, 2
+	b := unitWith("b", 20)
+	b.Steepness, b.SegPos = 1.0, 0
+	if got := (Chain{}).Pick([]*Unit{a, b}); got != 1 {
+		t.Fatalf("picked %d, want earlier position", got)
+	}
+	// Same position: older element first.
+	c := unitWith("c", 5)
+	c.Steepness, c.SegPos = 1.0, 0
+	if got := (Chain{}).Pick([]*Unit{b, c}); got != 1 {
+		t.Fatalf("picked %d, want older front element", got)
+	}
+}
+
+func TestMaxQueuePicksLongest(t *testing.T) {
+	units := []*Unit{unitWith("a", 1, 2), unitWith("b", 1, 2, 3, 4), unitWith("c", 1)}
+	if got := (MaxQueue{}).Pick(units); got != 1 {
+		t.Fatalf("picked %d, want longest", got)
+	}
+}
+
+func TestNewStrategy(t *testing.T) {
+	for _, name := range []string{"", "fifo", "roundrobin", "chain", "maxqueue"} {
+		if s := NewStrategy(name); s == nil {
+			t.Fatalf("nil strategy for %q", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown strategy should panic")
+		}
+	}()
+	NewStrategy("bogus")
+}
+
+func TestStrategiesReturnMinusOneWhenIdle(t *testing.T) {
+	units := []*Unit{unitWith("a"), unitWith("b")}
+	for _, s := range []Strategy{FIFO{}, &RoundRobin{}, Chain{}, MaxQueue{}} {
+		if got := s.Pick(units); got != -1 {
+			t.Fatalf("%s picked %d from empty queues", s.Name(), got)
+		}
+	}
+}

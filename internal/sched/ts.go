@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TS is the level-3 thread scheduler: a run-permit arbiter that bounds how
+// many partition executors run simultaneously and picks the next one by
+// priority. Go offers no preemption of goroutines, so preemption is
+// cooperative: executors hold a permit for at most one quantum and then
+// hand it back, which matches the paper's "preemptive priority-based
+// scheduling strategy" at quantum granularity. Waiting executors age —
+// their effective priority rises with waiting time — so starvation is
+// impossible (paper §4.2.2).
+type TS struct {
+	mu      sync.Mutex
+	max     int
+	running int
+	waiting []*waiter
+	agingNS float64 // priority points gained per nanosecond waited
+	epoch   time.Time
+}
+
+// Proc is one executor's identity at the TS. Priority can be adapted at
+// runtime (higher runs first).
+type Proc struct {
+	Name string
+	prio atomic.Int64
+}
+
+// SetPriority updates the process's base priority.
+func (p *Proc) SetPriority(v int) { p.prio.Store(int64(v)) }
+
+// Priority returns the process's base priority.
+func (p *Proc) Priority() int { return int(p.prio.Load()) }
+
+type waiter struct {
+	p     *Proc
+	since int64
+	ch    chan struct{}
+}
+
+// NewTS returns a thread scheduler allowing maxConcurrent simultaneous
+// permits (values below 1 are raised to 1). agePerMS is the priority gain
+// per millisecond of waiting; 0 disables aging (and with it the starvation
+// guarantee).
+func NewTS(maxConcurrent int, agePerMS float64) *TS {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &TS{max: maxConcurrent, agingNS: agePerMS / 1e6, epoch: time.Now()}
+}
+
+// MaxConcurrent returns the permit bound.
+func (ts *TS) MaxConcurrent() int { return ts.max }
+
+func (ts *TS) now() int64 { return int64(time.Since(ts.epoch)) }
+
+// Acquire blocks until the process is granted a run permit or stop closes;
+// it reports whether a permit was obtained. Each successful Acquire must be
+// paired with Release.
+func (ts *TS) Acquire(p *Proc, stop <-chan struct{}) bool {
+	ts.mu.Lock()
+	if ts.running < ts.max && len(ts.waiting) == 0 {
+		ts.running++
+		ts.mu.Unlock()
+		return true
+	}
+	if ts.running < ts.max {
+		// Permits free but others are queued: join the queue and grant
+		// one immediately so higher-priority waiters go first.
+		w := &waiter{p: p, since: ts.now(), ch: make(chan struct{})}
+		ts.waiting = append(ts.waiting, w)
+		ts.grantLocked()
+		ts.mu.Unlock()
+		return ts.await(w, stop)
+	}
+	w := &waiter{p: p, since: ts.now(), ch: make(chan struct{})}
+	ts.waiting = append(ts.waiting, w)
+	ts.mu.Unlock()
+	return ts.await(w, stop)
+}
+
+func (ts *TS) await(w *waiter, stop <-chan struct{}) bool {
+	select {
+	case <-w.ch:
+		return true
+	case <-stop:
+		ts.mu.Lock()
+		for i, x := range ts.waiting {
+			if x == w {
+				ts.waiting = append(ts.waiting[:i], ts.waiting[i+1:]...)
+				ts.mu.Unlock()
+				return false
+			}
+		}
+		ts.mu.Unlock()
+		// The grant raced with stop; hand the permit straight back.
+		ts.Release(w.p)
+		return false
+	}
+}
+
+// Release returns a permit, granting it to the best waiter if any.
+func (ts *TS) Release(*Proc) {
+	ts.mu.Lock()
+	ts.running--
+	ts.grantLocked()
+	ts.mu.Unlock()
+}
+
+// grantLocked hands free permits to the highest effective-priority
+// waiters. Caller holds mu.
+func (ts *TS) grantLocked() {
+	for ts.running < ts.max && len(ts.waiting) > 0 {
+		now := ts.now()
+		best, bestScore := 0, ts.score(ts.waiting[0], now)
+		for i := 1; i < len(ts.waiting); i++ {
+			if s := ts.score(ts.waiting[i], now); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		w := ts.waiting[best]
+		ts.waiting = append(ts.waiting[:best], ts.waiting[best+1:]...)
+		ts.running++
+		close(w.ch)
+	}
+}
+
+// score is the effective priority: base priority plus aging credit.
+func (ts *TS) score(w *waiter, now int64) float64 {
+	return float64(w.p.prio.Load()) + ts.agingNS*float64(now-w.since)
+}
+
+// Running returns the number of permits currently held.
+func (ts *TS) Running() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.running
+}
+
+// Waiting returns the number of executors queued for a permit.
+func (ts *TS) Waiting() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.waiting)
+}

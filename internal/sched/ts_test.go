@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTSBoundsConcurrency(t *testing.T) {
+	ts := NewTS(3, 0)
+	if ts.MaxConcurrent() != 3 {
+		t.Fatalf("max %d", ts.MaxConcurrent())
+	}
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := &Proc{}
+			for j := 0; j < 50; j++ {
+				if !ts.Acquire(p, stop) {
+					return
+				}
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Microsecond * 50)
+				cur.Add(-1)
+				ts.Release(p)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("concurrency peaked at %d, bound 3", got)
+	}
+	if ts.Running() != 0 || ts.Waiting() != 0 {
+		t.Fatalf("leaked permits: running=%d waiting=%d", ts.Running(), ts.Waiting())
+	}
+}
+
+func TestTSPriorityOrder(t *testing.T) {
+	ts := NewTS(1, 0) // no aging: strict priority
+	holder := &Proc{}
+	if !ts.Acquire(holder, nil) {
+		t.Fatal("initial acquire failed")
+	}
+	order := make(chan int, 3)
+	var ready sync.WaitGroup
+	for _, prio := range []int{1, 10, 5} {
+		ready.Add(1)
+		go func(prio int) {
+			p := &Proc{}
+			p.SetPriority(prio)
+			ready.Done()
+			if ts.Acquire(p, nil) {
+				order <- prio
+				time.Sleep(time.Millisecond)
+				ts.Release(p)
+			}
+		}(prio)
+	}
+	ready.Wait()
+	for ts.Waiting() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	ts.Release(holder)
+	want := []int{10, 5, 1}
+	for i, w := range want {
+		select {
+		case got := <-order:
+			if got != w {
+				t.Fatalf("grant %d went to priority %d, want %d", i, got, w)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("grant never happened")
+		}
+	}
+}
+
+func TestTSAgingPreventsStarvation(t *testing.T) {
+	// A low-priority waiter must eventually beat a stream of
+	// high-priority re-acquirers thanks to aging.
+	ts := NewTS(1, 1000) // 1000 priority points per ms: ages fast
+	lowDone := make(chan struct{})
+	stop := make(chan struct{})
+	defer close(stop)
+
+	high := &Proc{}
+	high.SetPriority(100)
+	if !ts.Acquire(high, nil) {
+		t.Fatal("acquire failed")
+	}
+	go func() {
+		low := &Proc{}
+		low.SetPriority(0)
+		if ts.Acquire(low, stop) {
+			close(lowDone)
+			ts.Release(low)
+		}
+	}()
+	// High-priority executor churns: release and immediately re-acquire.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-lowDone:
+			ts.Release(high)
+			return
+		case <-deadline:
+			t.Fatal("low-priority proc starved despite aging")
+		default:
+		}
+		ts.Release(high)
+		if !ts.Acquire(high, stop) {
+			return
+		}
+	}
+}
+
+func TestTSAcquireAbortsOnStop(t *testing.T) {
+	ts := NewTS(1, 0)
+	p := &Proc{}
+	if !ts.Acquire(p, nil) {
+		t.Fatal("acquire failed")
+	}
+	stop := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() {
+		q := &Proc{}
+		got <- ts.Acquire(q, stop)
+	}()
+	for ts.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	if v := <-got; v {
+		t.Fatal("aborted Acquire returned true")
+	}
+	if ts.Waiting() != 0 {
+		t.Fatal("aborted waiter leaked")
+	}
+	ts.Release(p)
+	if ts.Running() != 0 {
+		t.Fatal("permit leaked")
+	}
+}
+
+func TestTSMinimumOneSlot(t *testing.T) {
+	ts := NewTS(0, 0)
+	if ts.MaxConcurrent() != 1 {
+		t.Fatalf("max %d, want clamp to 1", ts.MaxConcurrent())
+	}
+}

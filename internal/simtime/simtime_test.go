@@ -1,0 +1,112 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealMonotone(t *testing.T) {
+	c := NewReal()
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		now := c.Now()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestRealSleep(t *testing.T) {
+	c := NewReal()
+	start := c.Now()
+	c.Sleep(5 * int64(time.Millisecond))
+	if d := c.Now() - start; d < 5*int64(time.Millisecond) {
+		t.Fatalf("slept only %v", time.Duration(d))
+	}
+	c.Sleep(-1) // must not block
+	c.Sleep(0)
+}
+
+func TestManualAdvance(t *testing.T) {
+	m := NewManual()
+	if m.Now() != 0 {
+		t.Fatalf("fresh manual clock at %d", m.Now())
+	}
+	m.Advance(100)
+	m.Advance(0)
+	if m.Now() != 100 {
+		t.Fatalf("after Advance(100): %d", m.Now())
+	}
+	m.Set(250)
+	if m.Now() != 250 {
+		t.Fatalf("after Set(250): %d", m.Now())
+	}
+}
+
+func TestManualSleepWakesAtDeadline(t *testing.T) {
+	m := NewManual()
+	var wg sync.WaitGroup
+	woke := make(chan int64, 3)
+	for _, d := range []int64{10, 20, 30} {
+		wg.Add(1)
+		go func(d int64) {
+			defer wg.Done()
+			m.Sleep(d)
+			woke <- d
+		}(d)
+	}
+	time.Sleep(10 * time.Millisecond) // let sleepers park
+	m.Advance(15)                     // wakes only the d=10 sleeper
+	if got := <-woke; got != 10 {
+		t.Fatalf("first waker slept %d, want 10", got)
+	}
+	select {
+	case got := <-woke:
+		t.Fatalf("sleeper %d woke before its deadline", got)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Advance(100)
+	wg.Wait()
+}
+
+func TestManualNegativePanics(t *testing.T) {
+	m := NewManual()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance should panic")
+		}
+	}()
+	m.Advance(-1)
+}
+
+func TestManualSetBackwardsPanics(t *testing.T) {
+	m := NewManual()
+	m.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set backwards should panic")
+		}
+	}()
+	m.Set(5)
+}
+
+func TestBusyOccupiesAtLeast(t *testing.T) {
+	for _, d := range []int64{0, 100, 10_000, 500_000} {
+		start := time.Now()
+		Busy(d)
+		if got := int64(time.Since(start)); got < d {
+			t.Fatalf("Busy(%d) returned after %d", d, got)
+		}
+	}
+}
+
+func TestBusyDoesNotOversleepWildly(t *testing.T) {
+	const d = 2_000_000 // 2ms
+	start := time.Now()
+	Busy(d)
+	if got := int64(time.Since(start)); got > 20*d {
+		t.Fatalf("Busy(%d) took %d, far over budget", d, got)
+	}
+}

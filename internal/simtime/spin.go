@@ -1,0 +1,28 @@
+package simtime
+
+import "time"
+
+// Busy burns CPU for approximately d nanoseconds of wall time. Unlike
+// Sleep it keeps the goroutine runnable, which is how a genuinely expensive
+// operator behaves: it occupies its thread. Used by the cost-simulated
+// operator to reproduce the paper's "2 second complex predicate" at any
+// time scale.
+//
+// For durations above coarse (~100µs) it sleeps in slices to avoid melting
+// the host while still holding the executing goroutine; below that it spins
+// so short costs stay accurate.
+func Busy(d int64) {
+	if d <= 0 {
+		return
+	}
+	const coarse = 100_000 // 100µs
+	start := time.Now()
+	if d > coarse {
+		// Occupy the goroutine without saturating a core: sleep most of
+		// the budget, then spin the remainder for accuracy.
+		time.Sleep(time.Duration(d - coarse))
+	}
+	for int64(time.Since(start)) < d {
+		// spin
+	}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import "sync/atomic"
+
+// OpStats tracks what one operator did: element counts, busy time, and the
+// derived per-element cost and input interarrival estimates. Writers are
+// the single executor currently running the operator; readers (the memory
+// sampler, the placement heuristic, metric dumps) are concurrent, so the
+// counters are atomics and the estimators lock internally.
+type OpStats struct {
+	in      atomic.Uint64 // elements received
+	out     atomic.Uint64 // elements emitted
+	busyNS  atomic.Int64  // cumulative processing time
+	lastIn  atomic.Int64  // event time of previous arrival, for d(v)
+	haveIn  atomic.Bool
+	costNS  *EWMA // smoothed per-element processing cost, c(v)
+	interNS *EWMA // smoothed input interarrival time, d(v)
+}
+
+// NewOpStats returns a ready OpStats.
+func NewOpStats() *OpStats {
+	return &OpStats{
+		costNS:  NewEWMA(0.05),
+		interNS: NewEWMA(0.05),
+	}
+}
+
+// RecordIn notes one arriving element with event time ts, updating the
+// interarrival estimator d(v).
+func (s *OpStats) RecordIn(ts int64) {
+	s.in.Add(1)
+	if s.haveIn.Load() {
+		prev := s.lastIn.Load()
+		if ts >= prev {
+			s.interNS.Observe(float64(ts - prev))
+		}
+	} else {
+		s.haveIn.Store(true)
+	}
+	s.lastIn.Store(ts)
+}
+
+// RecordOut notes n emitted elements.
+func (s *OpStats) RecordOut(n int) { s.out.Add(uint64(n)) }
+
+// RecordBusy adds d nanoseconds of processing time for one element and
+// updates the cost estimator c(v).
+func (s *OpStats) RecordBusy(d int64) {
+	s.busyNS.Add(d)
+	s.costNS.Observe(float64(d))
+}
+
+// In returns the number of elements received.
+func (s *OpStats) In() uint64 { return s.in.Load() }
+
+// Out returns the number of elements emitted.
+func (s *OpStats) Out() uint64 { return s.out.Load() }
+
+// BusyNS returns cumulative processing time in nanoseconds.
+func (s *OpStats) BusyNS() int64 { return s.busyNS.Load() }
+
+// CostNS returns the smoothed per-element processing cost c(v) in
+// nanoseconds, or 0 before any measurement.
+func (s *OpStats) CostNS() float64 { return s.costNS.Value() }
+
+// InterarrivalNS returns the smoothed input interarrival time d(v) in
+// nanoseconds, or 0 before two arrivals.
+func (s *OpStats) InterarrivalNS() float64 { return s.interNS.Value() }
+
+// Selectivity returns out/in, the operator's observed selectivity, or 1
+// before any input (the neutral assumption for planning).
+func (s *OpStats) Selectivity() float64 {
+	in := s.in.Load()
+	if in == 0 {
+		return 1
+	}
+	return float64(s.out.Load()) / float64(in)
+}

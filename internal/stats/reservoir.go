@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/dsms/hmts/internal/xrand"
+)
+
+// Reservoir keeps a fixed-size uniform sample of a value stream (Vitter's
+// Algorithm R) so the harness can report latency quantiles without storing
+// every observation.
+type Reservoir struct {
+	mu   sync.Mutex
+	rng  *xrand.Rand
+	vals []float64
+	cap  int
+	seen uint64
+}
+
+// NewReservoir returns a reservoir holding up to size samples, seeded
+// deterministically.
+func NewReservoir(size int, seed uint64) *Reservoir {
+	if size <= 0 {
+		panic("stats: reservoir size must be positive")
+	}
+	return &Reservoir{rng: xrand.New(seed), cap: size}
+}
+
+// Observe offers one value to the sample.
+func (r *Reservoir) Observe(v float64) {
+	r.mu.Lock()
+	r.seen++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+	} else if j := r.rng.Int64n(int64(r.seen)); j < int64(r.cap) {
+		r.vals[j] = v
+	}
+	r.mu.Unlock()
+}
+
+// Count returns how many values were observed in total.
+func (r *Reservoir) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the sampled values, or 0
+// if empty.
+func (r *Reservoir) Quantile(q float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(r.vals))
+	copy(sorted, r.vals)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

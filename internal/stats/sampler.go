@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// Gauge is anything whose instantaneous size can be sampled — in practice
+// the decoupling queues, whose combined occupancy is the "memory size"
+// metric of Figure 9.
+type Gauge interface {
+	Len() int
+}
+
+// Sampler periodically sums a set of gauges into a Series. It runs in its
+// own goroutine between Start and Stop.
+type Sampler struct {
+	mu     sync.Mutex
+	gauges []Gauge
+	series *Series
+	every  time.Duration
+	now    func() int64
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewSampler returns a sampler recording into a series with the given name,
+// sampling every interval, timestamping samples with now().
+func NewSampler(name string, every time.Duration, now func() int64) *Sampler {
+	return &Sampler{
+		series: NewSeries(name),
+		every:  every,
+		now:    now,
+	}
+}
+
+// Track adds a gauge to the sampled set. Call before Start.
+func (s *Sampler) Track(g Gauge) {
+	s.mu.Lock()
+	s.gauges = append(s.gauges, g)
+	s.mu.Unlock()
+}
+
+// Series returns the recorded series.
+func (s *Sampler) Series() *Series { return s.series }
+
+// Sample records one sum immediately. It is also called by the background
+// loop; callers may use it directly for deterministic sampling in tests.
+func (s *Sampler) Sample() {
+	s.mu.Lock()
+	total := 0
+	for _, g := range s.gauges {
+		total += g.Len()
+	}
+	s.mu.Unlock()
+	s.series.Add(s.now(), float64(total))
+}
+
+// Start launches the sampling loop. It panics if already started.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		panic("stats: Sampler started twice")
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(s.every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Sample()
+			case <-stop:
+				s.Sample()
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling loop, recording one final sample, and waits for
+// the loop to exit. Stop without Start is a no-op.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

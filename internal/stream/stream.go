@@ -1,0 +1,48 @@
+// Package stream defines the element type that flows through a query graph
+// and small helpers for event time.
+//
+// The engine is push-based: sources stamp elements with an event timestamp
+// and push them into the graph. End-of-stream is signaled out of band (see
+// the operator interfaces in package op), not with sentinel elements, so an
+// Element always carries data.
+package stream
+
+import "fmt"
+
+// Time is an event or processing timestamp in nanoseconds since an arbitrary
+// epoch (the start of the stream unless stated otherwise). A dedicated type
+// alias keeps signatures honest without the overhead of time.Time, whose
+// wall/monotonic split is unnecessary inside the engine.
+type Time = int64
+
+// Element is a single stream item. The fixed fields cover everything the
+// query operators need (predicates, projections, join keys, aggregates);
+// Aux carries any opaque application payload untouched.
+type Element struct {
+	// TS is the element's event timestamp in nanoseconds.
+	TS Time
+	// Key is the primary integer attribute; joins match on it and
+	// predicates commonly test it.
+	Key int64
+	// Val is the numeric payload aggregates operate on.
+	Val float64
+	// Aux is an optional application payload carried through unchanged.
+	Aux any
+}
+
+// String renders the element compactly for logs and tests.
+func (e Element) String() string {
+	if e.Aux == nil {
+		return fmt.Sprintf("{ts=%d key=%d val=%g}", e.TS, e.Key, e.Val)
+	}
+	return fmt.Sprintf("{ts=%d key=%d val=%g aux=%v}", e.TS, e.Key, e.Val, e.Aux)
+}
+
+// Before reports whether e's event time is strictly earlier than f's,
+// breaking ties by Key so that sorting is deterministic.
+func (e Element) Before(f Element) bool {
+	if e.TS != f.TS {
+		return e.TS < f.TS
+	}
+	return e.Key < f.Key
+}

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestString(t *testing.T) {
+	e := Element{TS: 5, Key: 3, Val: 1.5}
+	if got := e.String(); !strings.Contains(got, "ts=5") || !strings.Contains(got, "key=3") {
+		t.Fatalf("String() = %q", got)
+	}
+	e.Aux = "payload"
+	if got := e.String(); !strings.Contains(got, "aux=payload") {
+		t.Fatalf("String() with Aux = %q", got)
+	}
+}
+
+func TestBeforeOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Element
+		want bool
+	}{
+		{Element{TS: 1}, Element{TS: 2}, true},
+		{Element{TS: 2}, Element{TS: 1}, false},
+		{Element{TS: 1, Key: 1}, Element{TS: 1, Key: 2}, true},
+		{Element{TS: 1, Key: 2}, Element{TS: 1, Key: 1}, false},
+		{Element{TS: 1, Key: 1}, Element{TS: 1, Key: 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.want {
+			t.Errorf("(%v).Before(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBeforeIsStrictWeakOrder(t *testing.T) {
+	// Irreflexivity and asymmetry over random elements.
+	if err := quick.Check(func(ts1, ts2, k1, k2 int64) bool {
+		a := Element{TS: ts1, Key: k1}
+		b := Element{TS: ts2, Key: k2}
+		if a.Before(a) {
+			return false
+		}
+		if a.Before(b) && b.Before(a) {
+			return false
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

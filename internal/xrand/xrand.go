@@ -1,0 +1,144 @@
+// Package xrand provides a small, fast, seedable PRNG and the distributions
+// the workload generators need. math/rand would work, but a local
+// implementation keeps the generators identical across Go versions (the
+// global functions' streams changed in Go 1.20) and allows cheap value-type
+// copies of generator state in property tests.
+package xrand
+
+import "math"
+
+// Rand is a splitmix64-seeded xoshiro256** generator. The zero value is not
+// valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, so nearby seeds
+// yield uncorrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state deterministically from seed.
+func (r *Rand) Seed(seed uint64) {
+	for i := range r.s {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n)) // negligible modulo bias for our ranges
+}
+
+// Int64n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int64n with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// Exponential interarrival times produce a Poisson arrival process, the
+// bursty-traffic model used throughout the paper's evaluation (§6.2).
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent s > 1 using
+// inverse-CDF on a precomputed table; build one with NewZipf.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n values with exponent s (s > 0).
+// Skewed key distributions exercise the joins and grouped aggregates beyond
+// the paper's uniform setup.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns the next Zipf-distributed value in [0, n).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

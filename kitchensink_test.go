@@ -1,0 +1,118 @@
+package hmts_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// TestKitchenSinkAllModes wires every public operator into one shared
+// query graph and runs it under every threading architecture, checking
+// structural invariants (completion, no engine error, conservation where
+// the operator semantics pin it down exactly).
+func TestKitchenSinkAllModes(t *testing.T) {
+	const n = 8000
+	for _, mode := range []hmts.Mode{hmts.ModeGTS, hmts.ModeOTS, hmts.ModeDI, hmts.ModePureDI, hmts.ModeHMTS} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := hmts.New()
+			a := eng.Source("a", hmts.GenerateStamped(n, 1e6, hmts.UniformKeys(0, 63, 1)))
+			b := eng.Source("b", hmts.GenerateStamped(n, 1e6, hmts.UniformKeys(0, 63, 2)))
+			c := eng.Source("c", hmts.GenerateStamped(n, 1e6, hmts.UniformKeys(0, 63, 3)))
+
+			// Merge two sources and repair their interleaving.
+			merged := a.Union("merge", b).Reorder("fix", 5*time.Millisecond)
+
+			// Stateless chain.
+			clean := merged.
+				Where("drop-zero", func(e hmts.Element) bool { return e.Key != 0 }).
+				Map("tag", func(e hmts.Element) hmts.Element { e.Val += 1; return e }).
+				Project("strip")
+
+			total := clean.CountSink("total")
+
+			// Stateful consumers sharing `clean` (Figure 1 pattern).
+			agg := clean.Aggregate("avg", hmts.Avg, 2*time.Millisecond,
+				func(e hmts.Element) int64 { return e.Key }).CountSink("agg")
+			rows := clean.AggregateRows("sum5", hmts.Sum, 5, nil).CountSink("rows")
+			dedup := clean.Distinct("dedup", time.Hour).CountSink("dedup")
+			top := clean.TopK("top", 4, time.Millisecond).CountSink("top")
+			shed := clean.Throttle("shed", 200_000, 8).CountSink("shed")
+			sampled := clean.Sample("probe", 0.25, 7).CountSink("probe")
+
+			// Joins against the third source.
+			joined := clean.Join("join", c, time.Hour, nil).CountSink("join")
+			multi := clean.JoinMany("mjoin", time.Hour, c).CountSink("mjoin")
+
+			cfg := hmts.RunConfig{Mode: mode}
+			if mode == hmts.ModeHMTS {
+				cfg.MaxThreads = 4
+			}
+			eng.MustRun(cfg)
+			eng.Wait()
+			for name, s := range map[string]*hmts.Counter{
+				"total": total, "agg": agg, "rows": rows, "dedup": dedup,
+				"top": top, "shed": shed, "probe": sampled, "join": joined, "mjoin": multi,
+			} {
+				done := make(chan struct{})
+				go func() { s.Wait(); close(done) }()
+				select {
+				case <-done:
+				case <-time.After(30 * time.Second):
+					t.Fatalf("sink %q never completed", name)
+				}
+			}
+			if err := eng.Err(); err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+
+			// Exact invariants.
+			wantClean := uint64(0)
+			// Both sources use uniform keys over [0,63]; count the
+			// elements with key != 0 deterministically by regenerating.
+			for _, seed := range []uint64{1, 2} {
+				gen := hmts.UniformKeys(0, 63, seed)
+				for i := 0; i < n; i++ {
+					if gen(i).Key != 0 {
+						wantClean++
+					}
+				}
+			}
+			if total.Count() != wantClean {
+				t.Fatalf("total = %d, want %d", total.Count(), wantClean)
+			}
+			if agg.Count() != wantClean || rows.Count() != wantClean {
+				t.Fatalf("continuous aggregates must emit per input: agg=%d rows=%d want=%d",
+					agg.Count(), rows.Count(), wantClean)
+			}
+			if dedup.Count() != 63 {
+				t.Fatalf("dedup = %d, want 63 distinct keys", dedup.Count())
+			}
+			if top.Count() < 4 {
+				t.Fatalf("top-k emitted %d events, want >= 4", top.Count())
+			}
+			if shed.Count() == 0 || shed.Count() > wantClean {
+				t.Fatalf("shed = %d outside (0, %d]", shed.Count(), wantClean)
+			}
+			frac := float64(sampled.Count()) / float64(wantClean)
+			if frac < 0.2 || frac > 0.3 {
+				t.Fatalf("sample fraction %v, want ~0.25", frac)
+			}
+			// MJoin with 2 inputs and SHJ agree over identical windows.
+			if joined.Count() != multi.Count() {
+				t.Fatalf("SHJ %d vs MJoin %d over the same inputs", joined.Count(), multi.Count())
+			}
+			if joined.Count() == 0 {
+				t.Fatal("joins produced nothing")
+			}
+			// The metrics snapshot must cover every operator.
+			m := eng.Metrics()
+			if len(m.Ops) < 12 {
+				t.Fatalf("metrics cover %d ops", len(m.Ops))
+			}
+			_ = fmt.Sprint(m)
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package hmts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dsms/hmts/internal/graph"
+)
+
+// OpMetrics is a snapshot of one operator's runtime statistics.
+type OpMetrics struct {
+	Name           string
+	In, Out        uint64
+	Selectivity    float64
+	CostNS         float64 // measured mean per-element processing cost c(v)
+	InterarrivalNS float64 // measured mean input interarrival d(v)
+	PlannedCostNS  float64 // the estimate the current plan was built with
+}
+
+// QueueMetrics is a snapshot of one decoupling queue.
+type QueueMetrics struct {
+	Name     string
+	Len      int
+	MaxLen   int
+	Enqueued uint64
+	Dequeued uint64
+	Closed   bool
+}
+
+// Metrics is an engine-wide snapshot.
+type Metrics struct {
+	Mode      Mode // current scheduling mode
+	Executors int  // live partition executors
+	Ops       []OpMetrics
+	Queues    []QueueMetrics
+	VOs       [][]int
+}
+
+// Metrics captures a snapshot of per-operator and per-queue statistics of
+// a running (or finished) engine.
+func (e *Engine) Metrics() Metrics {
+	var m Metrics
+	m.Mode = e.cfg.Mode
+	if e.d != nil {
+		m.Executors = len(e.d.Execs())
+	}
+	for _, n := range e.g.Ops() {
+		st := n.Op.Stats()
+		m.Ops = append(m.Ops, OpMetrics{
+			Name:           n.Name,
+			In:             st.In(),
+			Out:            st.Out(),
+			Selectivity:    st.Selectivity(),
+			CostNS:         st.CostNS(),
+			InterarrivalNS: st.InterarrivalNS(),
+			PlannedCostNS:  n.CostNS,
+		})
+	}
+	sort.Slice(m.Ops, func(i, j int) bool { return m.Ops[i].Name < m.Ops[j].Name })
+	if e.d != nil {
+		for _, q := range e.d.Queues() {
+			m.Queues = append(m.Queues, QueueMetrics{
+				Name:     q.Name(),
+				Len:      q.Len(),
+				MaxLen:   q.MaxLen(),
+				Enqueued: q.Enqueued(),
+				Dequeued: q.Dequeued(),
+				Closed:   q.Closed(),
+			})
+		}
+		m.VOs = e.d.VOs()
+	}
+	return m
+}
+
+// String renders the snapshot as a small report.
+func (m Metrics) String() string {
+	var b strings.Builder
+	b.WriteString("operators:\n")
+	for _, o := range m.Ops {
+		fmt.Fprintf(&b, "  %-16s in=%-10d out=%-10d sel=%.4f cost=%.0fns d=%.0fns\n",
+			o.Name, o.In, o.Out, o.Selectivity, o.CostNS, o.InterarrivalNS)
+	}
+	b.WriteString("queues:\n")
+	for _, q := range m.Queues {
+		fmt.Fprintf(&b, "  %-28s len=%-8d max=%-8d enq=%-10d deq=%-10d closed=%v\n",
+			q.Name, q.Len, q.MaxLen, q.Enqueued, q.Dequeued, q.Closed)
+	}
+	if len(m.VOs) > 0 {
+		fmt.Fprintf(&b, "virtual operators: %v\n", m.VOs)
+	}
+	return b.String()
+}
+
+// DOT renders the engine's query graph in Graphviz syntax, marking queue
+// placements when the engine is deployed.
+func (e *Engine) DOT() string {
+	var cut map[graph.EdgeKey]bool
+	if e.d != nil {
+		cut = e.d.Cut()
+	}
+	return e.g.DOT(cut)
+}

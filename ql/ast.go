@@ -1,0 +1,224 @@
+package ql
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// Field names an element attribute.
+type Field int
+
+// Element attributes addressable in queries.
+const (
+	FieldKey Field = iota
+	FieldVal
+	FieldTS
+	FieldStar // '*' in select lists
+)
+
+// String names the field.
+func (f Field) String() string {
+	switch f {
+	case FieldKey:
+		return "key"
+	case FieldVal:
+		return "val"
+	case FieldTS:
+		return "ts"
+	case FieldStar:
+		return "*"
+	}
+	return fmt.Sprintf("Field(%d)", int(f))
+}
+
+// Agg names an aggregate function, or AggNone for plain selection.
+type Agg int
+
+// Aggregate functions.
+const (
+	AggNone Agg = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (a Agg) String() string {
+	names := [...]string{"none", "count", "sum", "avg", "min", "max"}
+	if int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("Agg(%d)", int(a))
+}
+
+// Query is the parsed form of a SELECT statement.
+type Query struct {
+	Agg        Agg
+	AggField   Field // field under the aggregate, or projected field
+	From       string
+	Join       string        // second source, empty if none
+	JoinWin    time.Duration // join window (required with Join)
+	Where      Expr          // nil if absent
+	GroupBy    bool          // GROUP BY KEY
+	Window     time.Duration // aggregate time window
+	WindowRows int           // aggregate ROWS window (exclusive with Window)
+	Having     Expr          // filter over aggregate output (val = aggregate, key = group)
+}
+
+// String renders the query canonically.
+func (q *Query) String() string {
+	s := "select "
+	switch q.Agg {
+	case AggNone:
+		s += q.AggField.String()
+	default:
+		s += q.Agg.String() + "(" + q.AggField.String() + ")"
+	}
+	s += " from " + q.From
+	if q.Join != "" {
+		s += fmt.Sprintf(" join %s window %v", q.Join, q.JoinWin)
+	}
+	if q.Where != nil {
+		s += " where " + q.Where.String()
+	}
+	if q.GroupBy {
+		s += " group by key"
+	}
+	if q.Window > 0 {
+		s += fmt.Sprintf(" window %v", q.Window)
+	}
+	if q.WindowRows > 0 {
+		s += fmt.Sprintf(" window %d rows", q.WindowRows)
+	}
+	if q.Having != nil {
+		s += " having " + q.Having.String()
+	}
+	return s
+}
+
+// Expr is a typed expression over an element. Num evaluates numeric
+// expressions; Bool evaluates predicates. IsBool reports which evaluation
+// is legal.
+type Expr interface {
+	fmt.Stringer
+	IsBool() bool
+	Num(e stream.Element) float64
+	Bool(e stream.Element) bool
+}
+
+// numLit is a numeric literal.
+type numLit float64
+
+func (n numLit) IsBool() bool               { return false }
+func (n numLit) Num(stream.Element) float64 { return float64(n) }
+func (n numLit) Bool(stream.Element) bool   { panic("ql: literal used as predicate") }
+func (n numLit) String() string             { return fmt.Sprintf("%g", float64(n)) }
+
+// fieldRef reads an element attribute.
+type fieldRef Field
+
+func (f fieldRef) IsBool() bool { return false }
+func (f fieldRef) Num(e stream.Element) float64 {
+	switch Field(f) {
+	case FieldKey:
+		return float64(e.Key)
+	case FieldVal:
+		return e.Val
+	case FieldTS:
+		return float64(e.TS)
+	}
+	panic("ql: bad field reference")
+}
+func (f fieldRef) Bool(stream.Element) bool { panic("ql: field used as predicate") }
+func (f fieldRef) String() string           { return Field(f).String() }
+
+// binary is an arithmetic or comparison operator.
+type binary struct {
+	op   string
+	l, r Expr
+}
+
+func (b *binary) IsBool() bool {
+	switch b.op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (b *binary) Num(e stream.Element) float64 {
+	l, r := b.l.Num(e), b.r.Num(e)
+	switch b.op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "/":
+		return l / r
+	case "%":
+		return math.Mod(l, r)
+	}
+	panic("ql: " + b.op + " is not numeric")
+}
+
+func (b *binary) Bool(e stream.Element) bool {
+	l, r := b.l.Num(e), b.r.Num(e)
+	switch b.op {
+	case "=":
+		return l == r
+	case "!=":
+		return l != r
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case ">":
+		return l > r
+	case ">=":
+		return l >= r
+	}
+	panic("ql: " + b.op + " is not a comparison")
+}
+
+func (b *binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.l, b.op, b.r)
+}
+
+// logical is AND/OR over predicates.
+type logical struct {
+	op   string // "and" | "or"
+	l, r Expr
+}
+
+func (l *logical) IsBool() bool               { return true }
+func (l *logical) Num(stream.Element) float64 { panic("ql: logical expression used as number") }
+func (l *logical) Bool(e stream.Element) bool {
+	if l.op == "and" {
+		return l.l.Bool(e) && l.r.Bool(e)
+	}
+	return l.l.Bool(e) || l.r.Bool(e)
+}
+func (l *logical) String() string { return fmt.Sprintf("(%s %s %s)", l.l, l.op, l.r) }
+
+// not negates a predicate.
+type not struct{ x Expr }
+
+func (n *not) IsBool() bool               { return true }
+func (n *not) Num(stream.Element) float64 { panic("ql: NOT used as number") }
+func (n *not) Bool(e stream.Element) bool { return !n.x.Bool(e) }
+func (n *not) String() string             { return fmt.Sprintf("(not %s)", n.x) }
+
+// neg negates a number.
+type neg struct{ x Expr }
+
+func (n *neg) IsBool() bool                 { return false }
+func (n *neg) Num(e stream.Element) float64 { return -n.x.Num(e) }
+func (n *neg) Bool(stream.Element) bool     { panic("ql: negation used as predicate") }
+func (n *neg) String() string               { return fmt.Sprintf("(-%s)", n.x) }

@@ -1,0 +1,53 @@
+package ql_test
+
+import (
+	"fmt"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/ql"
+)
+
+// ExampleParse shows the canonical rendering of a parsed query.
+func ExampleParse() {
+	q, err := ql.Parse("SELECT avg(val) FROM sensors WHERE key % 4 = 0 GROUP BY KEY WINDOW 60s HAVING val > 10")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	// Output: select avg(val) from sensors where ((key % 4) = 0) group by key window 1m0s having (val > 10)
+}
+
+// ExampleScript_Execute runs a complete script: sources, queries, mode.
+func ExampleScript_Execute() {
+	script, err := ql.ParseScript(`
+		CREATE SOURCE s COUNT 1000 RATE 0 KEYS 0 9 SEED 3 STAMPED;
+		SELECT * FROM s WHERE key = 0;
+		SET MODE gts;
+	`)
+	if err != nil {
+		panic(err)
+	}
+	results, err := script.Execute()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(results[0].Query, "->", results[0].Count > 50 && results[0].Count < 150)
+	// Output: select * from s where (key = 0) -> true
+}
+
+// ExamplePlan compiles a parsed query onto an engine by hand.
+func ExamplePlan() {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(100, 1000, hmts.SeqKeys()))
+	q, _ := ql.Parse("SELECT * FROM s WHERE key < 10")
+	out, err := ql.Plan(eng, map[string]*hmts.Stream{"s": src}, q)
+	if err != nil {
+		panic(err)
+	}
+	sink := out.Collect("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeDI})
+	eng.Wait()
+	sink.Wait()
+	fmt.Println(sink.Len())
+	// Output: 10
+}

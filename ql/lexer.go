@@ -1,0 +1,106 @@
+// Package ql implements a small continuous-query language on top of the
+// hmts builder, used by cmd/hmtsd and handy for tests and examples.
+//
+// Grammar (case-insensitive keywords):
+//
+//	query  := SELECT sel FROM src [JOIN src WINDOW dur]
+//	          [WHERE expr] [GROUP BY KEY] [WINDOW dur]
+//	sel    := '*' | field | agg '(' field | '*' ')'
+//	agg    := COUNT | SUM | AVG | MIN | MAX
+//	field  := KEY | VAL | TS
+//	expr   := boolean expression over KEY, VAL, TS with
+//	          = != < <= > >= + - * / % AND OR NOT ( ) numbers
+//	dur    := Go duration literal, e.g. 60s, 500ms, 1m
+//
+// Examples:
+//
+//	SELECT * FROM sensors WHERE val > 10 AND key % 4 = 0
+//	SELECT avg(val) FROM sensors WINDOW 60s GROUP BY KEY
+//	SELECT * FROM orders JOIN payments WINDOW 5s WHERE val >= 100
+package ql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer splits the input into tokens. Identifiers are lower-cased so
+// keywords are case-insensitive.
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.in) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.in[l.pos]
+		switch {
+		case unicode.IsLetter(rune(c)) || c == '_':
+			for l.pos < len(l.in) && (isIdentChar(l.in[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(l.in[start:l.pos]), pos: start})
+		case unicode.IsDigit(rune(c)) || c == '.':
+			// Numbers may carry a duration suffix (60s, 1m30s, 500ms);
+			// the parser decides whether a duration is legal here.
+			for l.pos < len(l.in) && (isIdentChar(l.in[l.pos]) || l.in[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.in[start:l.pos], pos: start})
+		default:
+			sym, n := l.symbol()
+			if n == 0 {
+				return nil, fmt.Errorf("ql: unexpected character %q at %d", c, l.pos)
+			}
+			l.pos += n
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) && unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+}
+
+// symbol recognizes the operator at the cursor, longest match first.
+func (l *lexer) symbol() (string, int) {
+	rest := l.in[l.pos:]
+	for _, s := range []string{"<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ";"} {
+		if strings.HasPrefix(rest, s) {
+			return s, len(s)
+		}
+	}
+	return "", 0
+}

@@ -1,0 +1,412 @@
+package ql
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSym(";") // trailing semicolon is optional
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected %q after query", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ql: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// acceptKw consumes the keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// expectKw requires the keyword.
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %q, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+// query := SELECT sel FROM ident [JOIN ident WINDOW dur] [WHERE expr]
+//
+//	[GROUP BY KEY] [WINDOW dur]
+func (p *parser) query() (*Query, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if err := p.selectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	src, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.From = src
+	if p.acceptKw("join") {
+		other, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = other
+		if err := p.expectKw("window"); err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		q.JoinWin = d
+	}
+	if p.acceptKw("where") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !e.IsBool() {
+			return nil, p.errf("WHERE needs a boolean expression, got %s", e)
+		}
+		q.Where = e
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("key"); err != nil {
+			return nil, err
+		}
+		q.GroupBy = true
+	}
+	if p.acceptKw("window") {
+		// Either a duration ("500ms") or a row count ("100 ROWS").
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected window size, found %q", p.cur().text)
+		}
+		if n, err := strconv.Atoi(p.cur().text); err == nil {
+			p.i++
+			if err := p.expectKw("rows"); err != nil {
+				return nil, err
+			}
+			if n <= 0 {
+				return nil, fmt.Errorf("ql: ROWS window must be positive")
+			}
+			q.WindowRows = n
+		} else {
+			d, err := p.duration()
+			if err != nil {
+				return nil, err
+			}
+			q.Window = d
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !e.IsBool() {
+			return nil, p.errf("HAVING needs a boolean expression, got %s", e)
+		}
+		q.Having = e
+	}
+	// Semantic checks.
+	if q.Agg != AggNone && q.Window == 0 && q.WindowRows == 0 {
+		return nil, fmt.Errorf("ql: aggregate query needs WINDOW")
+	}
+	if q.Having != nil && q.Agg == AggNone {
+		return nil, fmt.Errorf("ql: HAVING requires an aggregate")
+	}
+	if q.Agg == AggNone && q.GroupBy {
+		return nil, fmt.Errorf("ql: GROUP BY requires an aggregate")
+	}
+	if q.Agg == AggNone && (q.Window != 0 || q.WindowRows != 0) {
+		return nil, fmt.Errorf("ql: WINDOW requires an aggregate (joins take their own window)")
+	}
+	return q, nil
+}
+
+func (p *parser) selectList(q *Query) error {
+	if p.acceptSym("*") {
+		q.Agg, q.AggField = AggNone, FieldStar
+		return nil
+	}
+	if p.cur().kind != tokIdent {
+		return p.errf("expected select list, found %q", p.cur().text)
+	}
+	word := p.next().text
+	aggs := map[string]Agg{"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax}
+	if a, ok := aggs[word]; ok && p.acceptSym("(") {
+		q.Agg = a
+		if p.acceptSym("*") {
+			q.AggField = FieldStar
+		} else {
+			f, err := p.fieldWord()
+			if err != nil {
+				return err
+			}
+			q.AggField = f
+		}
+		return p.expectSym(")")
+	}
+	f, err := fieldOf(word)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	q.Agg, q.AggField = AggNone, f
+	return nil
+}
+
+func (p *parser) fieldWord() (Field, error) {
+	if p.cur().kind != tokIdent {
+		return 0, p.errf("expected field, found %q", p.cur().text)
+	}
+	return fieldOf(p.next().text)
+}
+
+func fieldOf(w string) (Field, error) {
+	switch w {
+	case "key":
+		return FieldKey, nil
+	case "val", "value":
+		return FieldVal, nil
+	case "ts", "time":
+		return FieldTS, nil
+	}
+	return 0, fmt.Errorf("unknown field %q (want key, val or ts)", w)
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+// duration parses a Go duration literal token.
+func (p *parser) duration() (time.Duration, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected duration, found %q", p.cur().text)
+	}
+	d, err := time.ParseDuration(p.next().text)
+	if err != nil {
+		return 0, fmt.Errorf("ql: bad duration: %w", err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("ql: duration must be positive")
+	}
+	return d, nil
+}
+
+// Expression parsing, standard precedence climbing.
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !l.IsBool() || !r.IsBool() {
+			return nil, p.errf("OR needs boolean operands")
+		}
+		l = &logical{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !l.IsBool() || !r.IsBool() {
+			return nil, p.errf("AND needs boolean operands")
+		}
+		l = &logical{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKw("not") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !x.IsBool() {
+			return nil, p.errf("NOT needs a boolean operand")
+		}
+		return &not{x: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.sumExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, opName := range []string{"<=", ">=", "!=", "<>", "=", "<", ">"} {
+		if p.acceptSym(opName) {
+			r, err := p.sumExpr()
+			if err != nil {
+				return nil, err
+			}
+			if l.IsBool() || r.IsBool() {
+				return nil, p.errf("comparison needs numeric operands")
+			}
+			if opName == "<>" {
+				opName = "!="
+			}
+			return &binary{op: opName, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) sumExpr() (Expr, error) {
+	l, err := p.termExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var opName string
+		switch {
+		case p.acceptSym("+"):
+			opName = "+"
+		case p.acceptSym("-"):
+			opName = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.termExpr()
+		if err != nil {
+			return nil, err
+		}
+		if l.IsBool() || r.IsBool() {
+			return nil, p.errf("arithmetic needs numeric operands")
+		}
+		l = &binary{op: opName, l: l, r: r}
+	}
+}
+
+func (p *parser) termExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var opName string
+		switch {
+		case p.acceptSym("*"):
+			opName = "*"
+		case p.acceptSym("/"):
+			opName = "/"
+		case p.acceptSym("%"):
+			opName = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if l.IsBool() || r.IsBool() {
+			return nil, p.errf("arithmetic needs numeric operands")
+		}
+		l = &binary{op: opName, l: l, r: r}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.acceptSym("-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if x.IsBool() {
+			return nil, p.errf("negation needs a numeric operand")
+		}
+		return &neg{x: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.i++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return numLit(v), nil
+	case t.kind == tokIdent:
+		f, err := fieldOf(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		p.i++
+		return fieldRef(f), nil
+	case p.acceptSym("("):
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectSym(")")
+	}
+	return nil, p.errf("unexpected %q in expression", t.text)
+}

@@ -1,0 +1,68 @@
+package hmts
+
+import (
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/simtime"
+	"github.com/dsms/hmts/internal/workload"
+)
+
+// Gen fills the payload of the i-th generated element.
+type Gen = workload.Gen
+
+// SourceSpec describes a source for Engine.Source. Construct one with
+// Generate, GeneratePoisson, Replay or Custom.
+type SourceSpec struct {
+	src      op.Source
+	rateHint float64
+}
+
+// Generate returns a source of n elements at a fixed rate (elements per
+// second; 0 = as fast as downstream accepts). It is a real-time source: it
+// paces itself on the wall clock and stamps elements with their actual
+// emission time. A nil gen yields sequential keys.
+func Generate(n int, rateHz float64, gen Gen) SourceSpec {
+	var arr workload.Arrival = workload.FixedRate{Hz: rateHz}
+	return SourceSpec{
+		src:      workload.New("gen", n, gen, arr, simtime.NewReal()),
+		rateHint: rateHz,
+	}
+}
+
+// GeneratePoisson returns a real-time source with Poisson (bursty)
+// arrivals of the given mean rate, seeded deterministically.
+func GeneratePoisson(n int, meanHz float64, gen Gen, seed uint64) SourceSpec {
+	return SourceSpec{
+		src:      workload.New("poisson", n, gen, workload.NewPoisson(meanHz, seed), simtime.NewReal()),
+		rateHint: meanHz,
+	}
+}
+
+// GenerateStamped returns a virtual-time source: it never sleeps and
+// stamps elements with their scheduled arrival for the given nominal rate.
+// Deterministic and fast — ideal for tests and planning studies.
+func GenerateStamped(n int, rateHz float64, gen Gen) SourceSpec {
+	return SourceSpec{
+		src:      workload.New("stamped", n, gen, workload.FixedRate{Hz: rateHz}, nil),
+		rateHint: rateHz,
+	}
+}
+
+// Replay returns a source that replays the given elements verbatim,
+// timestamps included.
+func Replay(els []Element) SourceSpec {
+	return SourceSpec{src: workload.Slice("replay", els)}
+}
+
+// Custom wraps any op.Source implementation (for example an application's
+// network receiver) with a planner rate hint.
+func Custom(src op.Source, rateHintHz float64) SourceSpec {
+	return SourceSpec{src: src, rateHint: rateHintHz}
+}
+
+// UniformKeys, ZipfKeys and SeqKeys re-export the workload generators for
+// use with Generate.
+var (
+	UniformKeys = workload.UniformKeys
+	ZipfKeys    = workload.ZipfKeys
+	SeqKeys     = workload.SeqKeys
+)

@@ -1,0 +1,45 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/trace"
+)
+
+// ExampleWriteAll round-trips a stream through the binary format.
+func ExampleWriteAll() {
+	els := []hmts.Element{
+		{TS: 100, Key: 1, Val: 0.5},
+		{TS: 200, Key: 2, Val: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, els); err != nil {
+		panic(err)
+	}
+	back, err := trace.ReadAll(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(back), back[1].Key, back[1].Val)
+	// Output: 2 2 1.5
+}
+
+// ExampleNewSink records a live query's output, then replays it.
+func ExampleNewSink() {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf)
+	rec := trace.NewSink(w)
+
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(100, 1000, hmts.SeqKeys()))
+	src.Where("even", func(e hmts.Element) bool { return e.Key%2 == 0 }).Into("rec", rec)
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	eng.Wait()
+	rec.Wait()
+
+	els, _ := trace.ReadAll(&buf)
+	fmt.Println(len(els))
+	// Output: 50
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// Merge combines several traces into one, k-way merging by event
+// timestamp (ties broken by input order), and writes the result to w.
+// Each input must itself be timestamp-ordered; an out-of-order input is
+// reported as an error. It returns the number of merged elements.
+func Merge(w io.Writer, inputs ...io.Reader) (uint64, error) {
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("trace: Merge needs at least one input")
+	}
+	readers := make([]*Reader, len(inputs))
+	for i, in := range inputs {
+		r, err := NewReader(in)
+		if err != nil {
+			return 0, fmt.Errorf("trace: input %d: %w", i, err)
+		}
+		readers[i] = r
+	}
+	out, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+
+	h := &mergeHeap{}
+	lastTS := make([]int64, len(readers))
+	seen := make([]bool, len(readers))
+	pull := func(i int) error {
+		e, err := readers[i].Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: input %d: %w", i, err)
+		}
+		if seen[i] && e.TS < lastTS[i] {
+			return fmt.Errorf("trace: input %d is not timestamp-ordered (%d after %d)", i, e.TS, lastTS[i])
+		}
+		seen[i] = true
+		lastTS[i] = e.TS
+		heap.Push(h, mergeItem{e: e, src: i})
+		return nil
+	}
+	for i := range readers {
+		if err := pull(i); err != nil {
+			return 0, err
+		}
+	}
+	var n uint64
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem)
+		if err := out.Write(it.e); err != nil {
+			return n, err
+		}
+		n++
+		if err := pull(it.src); err != nil {
+			return n, err
+		}
+	}
+	return n, out.Close()
+}
+
+type mergeItem struct {
+	e   hmts.Element
+	src int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.e.TS != b.e.TS {
+		return a.e.TS < b.e.TS
+	}
+	return a.src < b.src
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *mergeHeap) Push(x any) { h.items = append(h.items, x.(mergeItem)) }
+
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	hmts "github.com/dsms/hmts"
+)
+
+func encode(t *testing.T, els []hmts.Element) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, els); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+func TestMergeOrdersByTimestamp(t *testing.T) {
+	a := []hmts.Element{{TS: 1, Key: 1}, {TS: 5, Key: 1}, {TS: 9, Key: 1}}
+	b := []hmts.Element{{TS: 2, Key: 2}, {TS: 5, Key: 2}, {TS: 6, Key: 2}}
+	c := []hmts.Element{{TS: 0, Key: 3}}
+	var out bytes.Buffer
+	n, err := Merge(&out, encode(t, a), encode(t, b), encode(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("merged %d", n)
+	}
+	got, err := ReadAll(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTS := []int64{0, 1, 2, 5, 5, 6, 9}
+	for i, e := range got {
+		if e.TS != wantTS[i] {
+			t.Fatalf("position %d: ts %d, want %d (%v)", i, e.TS, wantTS[i], got)
+		}
+	}
+	// Tie at TS=5 broken by input order: key 1 before key 2.
+	if got[3].Key != 1 || got[4].Key != 2 {
+		t.Fatalf("tie-break wrong: %v", got[3:5])
+	}
+}
+
+func TestMergeRejectsUnorderedInput(t *testing.T) {
+	bad := []hmts.Element{{TS: 10}, {TS: 3}}
+	var out bytes.Buffer
+	if _, err := Merge(&out, encode(t, bad)); err == nil {
+		t.Fatal("unordered input must be rejected")
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	var out bytes.Buffer
+	n, err := Merge(&out, encode(t, nil), encode(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("merged %d from empty inputs", n)
+	}
+	if got, err := ReadAll(&out); err != nil || len(got) != 0 {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+	if _, err := Merge(&out); err == nil {
+		t.Fatal("zero inputs must error")
+	}
+}

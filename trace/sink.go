@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"sync"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// Sink records a stream while it flows: attach it to a query with
+// Stream.Into and every result is appended to the trace. Close is called
+// automatically when the stream ends; check Err afterwards.
+type Sink struct {
+	mu  sync.Mutex
+	w   *Writer
+	err error
+	fin chan struct{}
+}
+
+// NewSink returns a recording sink over w.
+func NewSink(w *Writer) *Sink {
+	return &Sink{w: w, fin: make(chan struct{})}
+}
+
+// Process implements hmts.Sink.
+func (s *Sink) Process(_ int, e hmts.Element) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.w.Write(e)
+	}
+	s.mu.Unlock()
+}
+
+// Done implements hmts.Sink; it closes the trace.
+func (s *Sink) Done(int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.fin:
+		return
+	default:
+	}
+	if err := s.w.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	close(s.fin)
+}
+
+// Wait blocks until the recorded stream has ended.
+func (s *Sink) Wait() { <-s.fin }
+
+// Err returns the first write error, if any.
+func (s *Sink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	hmts "github.com/dsms/hmts"
+)
+
+func BenchmarkWrite(b *testing.B) {
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(hmts.Element{TS: int64(i) * 1000, Key: int64(i & 1023), Val: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead1k(b *testing.B) {
+	els := make([]hmts.Element, 1000)
+	for i := range els {
+		els[i] = hmts.Element{TS: int64(i) * 1000, Key: int64(i & 1023), Val: 1}
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, els); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ReadAll(bytes.NewReader(raw))
+		if err != nil || len(got) != len(els) {
+			b.Fatalf("read %d, err %v", len(got), err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	hmts "github.com/dsms/hmts"
+)
+
+func roundTrip(t *testing.T, els []hmts.Element) []hmts.Element {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, els); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	els := []hmts.Element{
+		{TS: 0, Key: 1, Val: 1.5},
+		{TS: 100, Key: -7, Val: -2.25},
+		{TS: 100, Key: 0, Val: 0},
+		{TS: 50, Key: 1 << 40, Val: 1e-300}, // backwards ts is legal
+	}
+	got := roundTrip(t, els)
+	if len(got) != len(els) {
+		t.Fatalf("got %d elements", len(got))
+	}
+	for i := range els {
+		if got[i] != els[i] {
+			t.Fatalf("element %d: %v != %v", i, got[i], els[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Fatalf("empty trace returned %d elements", len(got))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(tss []int64, keys []int64, vals []float64) bool {
+		n := len(tss)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		if len(vals) < n {
+			n = len(vals)
+		}
+		els := make([]hmts.Element, n)
+		for i := 0; i < n; i++ {
+			els[i] = hmts.Element{TS: tss[i], Key: keys[i], Val: vals[i]}
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, els); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range els {
+			a, b := got[i], els[i]
+			// NaN != NaN; compare bit patterns via != on the rest.
+			if a.TS != b.TS || a.Key != b.Key {
+				return false
+			}
+			if a.Val != b.Val && !(a.Val != a.Val && b.Val != b.Val) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuxRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(hmts.Element{Aux: "x"}); !errors.Is(err, ErrAux) {
+		t.Fatalf("want ErrAux, got %v", err)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := w.Write(hmts.Element{}); err == nil {
+		t.Fatal("write after close should fail")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	els := []hmts.Element{{TS: 1, Key: 2, Val: 3}, {TS: 2, Key: 3, Val: 4}}
+	if err := WriteAll(&buf, els); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip a payload byte: CRC must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[12] ^= 0xFF
+	if _, err := ReadAll(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bit flip not detected")
+	}
+
+	// Truncate: missing footer must be an error, not silent EOF.
+	if _, err := ReadAll(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncation not detected")
+	}
+
+	// Bad magic.
+	bad2 := append([]byte(nil), raw...)
+	bad2[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad magic not detected")
+	}
+
+	// Unknown tag.
+	bad3 := append([]byte(nil), raw...)
+	bad3[8] = 0x7F
+	if _, err := ReadAll(bytes.NewReader(bad3)); err == nil {
+		t.Fatal("unknown tag not detected")
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	// Steady-rate positive deltas should stay well under the naive 24
+	// bytes per element.
+	els := make([]hmts.Element, 10_000)
+	for i := range els {
+		els[i] = hmts.Element{TS: int64(i) * 1000, Key: int64(i % 100), Val: 1}
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, els); err != nil {
+		t.Fatal(err)
+	}
+	perElem := float64(buf.Len()) / float64(len(els))
+	if perElem > 13 {
+		t.Fatalf("encoding too fat: %.1f bytes/element", perElem)
+	}
+}
+
+func TestReaderAfterEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []hmts.Element{{TS: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF, got %v", err)
+		}
+	}
+}
+
+func TestRecordAndReplayThroughEngine(t *testing.T) {
+	// Record a query's output, then replay it as a source for a second
+	// query; counts must line up.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewSink(w)
+
+	eng := hmts.New()
+	src := eng.Source("src", hmts.GenerateStamped(10_000, 1e6, hmts.SeqKeys()))
+	src.Where("even", func(e hmts.Element) bool { return e.Key%2 == 0 }).Into("rec", rec)
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	eng.Wait()
+	rec.Wait()
+	if rec.Err() != nil {
+		t.Fatalf("recording: %v", rec.Err())
+	}
+
+	els, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 5000 {
+		t.Fatalf("recorded %d", len(els))
+	}
+
+	eng2 := hmts.New()
+	replay := eng2.Source("replay", hmts.Replay(els))
+	sink := replay.Where("q", func(e hmts.Element) bool { return e.Key%4 == 0 }).CountSink("out")
+	eng2.MustRun(hmts.RunConfig{Mode: hmts.ModeDI})
+	eng2.Wait()
+	sink.Wait()
+	if sink.Count() != 2500 {
+		t.Fatalf("replayed query got %d, want 2500", sink.Count())
+	}
+}
