@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci vet build test race saturation bench
+
+# The gate every PR must pass.
+ci: vet build test race saturation
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The batched transfer path is lock-heavy and concurrent; keep the data-race
+# detector on its packages in the gate.
+race:
+	$(GO) test -race ./internal/queue ./internal/sched
+
+# The capacity-model validation is a timing experiment; run it a few times so
+# a flaky pass cannot slip through.
+saturation:
+	$(GO) test -run TestSaturationShape -count=3 ./internal/exp
+
+bench:
+	$(GO) test -bench . -benchmem ./internal/queue ./internal/sched

@@ -157,3 +157,46 @@ func TestBuilderHintFlowsToPlanner(t *testing.T) {
 		t.Fatalf("hint not applied: %+v", n)
 	}
 }
+
+// TestBuilderBatchedSource runs a batched flat-out source through every
+// mode that puts a queue behind the source, checking conservation and
+// order through the batched enqueue/drain path.
+func TestBuilderBatchedSource(t *testing.T) {
+	for _, mode := range []hmts.Mode{hmts.ModeGTS, hmts.ModeOTS, hmts.ModeDI} {
+		eng := hmts.New()
+		src := eng.Source("s", hmts.GenerateStamped(40_000, 1e6, hmts.SeqKeys()).Batched(64))
+		col := src.Map("id", func(e hmts.Element) hmts.Element { return e }).Collect("out")
+		eng.MustRun(hmts.RunConfig{Mode: mode})
+		eng.Wait()
+		col.Wait()
+		if err := eng.Err(); err != nil {
+			t.Fatalf("%v: engine error: %v", mode, err)
+		}
+		els := col.Elements()
+		if len(els) != 40_000 {
+			t.Fatalf("%v: delivered %d, want 40000", mode, len(els))
+		}
+		for i, e := range els {
+			if e.Key != int64(i) {
+				t.Fatalf("%v: order violated at %d: key %d", mode, i, e.Key)
+			}
+		}
+	}
+}
+
+// TestBuilderBatchedSourceBounded drives a batched burst through a small
+// bounded queue so the backpressure path of ProcessBatch engages.
+func TestBuilderBatchedSourceBounded(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("s", hmts.GenerateStamped(20_000, 1e6, hmts.SeqKeys()).Batched(256))
+	c := src.Where("all", func(hmts.Element) bool { return true }).CountSink("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS, QueueBound: 32})
+	eng.Wait()
+	c.Wait()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if got := c.Count(); got != 20_000 {
+		t.Fatalf("delivered %d, want 20000", got)
+	}
+}

@@ -30,6 +30,16 @@ type Sink interface {
 	Done(port int)
 }
 
+// BatchSink is optionally implemented by sinks that can accept a burst of
+// elements in one call, amortizing per-element synchronization (the
+// decoupling queue implements it with a single lock acquisition per
+// burst). ProcessBatch is equivalent to calling Process for each element
+// in order; the callee must not retain the slice after returning.
+type BatchSink interface {
+	Sink
+	ProcessBatch(port int, es []stream.Element)
+}
+
 // Operator is a query-graph node: a Sink that forwards derived elements to
 // subscribed downstream sinks.
 type Operator interface {

@@ -245,6 +245,68 @@ func (q *Queue) Process(_ int, e stream.Element) {
 	q.ping(notify)
 }
 
+// ProcessBatch implements op.BatchSink: it enqueues the whole burst with
+// one lock acquisition per contiguous run of available space — a single
+// one in the common (unbounded or non-full) case — instead of one per
+// element, and coalesces the drainer wakeup into at most one signal per
+// run. On a full bounded queue it enqueues what fits, blocks for space,
+// and continues; poisoning drops the not-yet-enqueued remainder. Element
+// order within the batch is preserved.
+func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
+	for len(es) > 0 {
+		q.mu.Lock()
+		select {
+		case <-q.poison:
+			q.mu.Unlock()
+			q.dropped.Add(uint64(len(es)))
+			return
+		default:
+		}
+		if q.bound > 0 && q.n >= q.bound {
+			ch := q.space
+			q.mu.Unlock()
+			select {
+			case <-ch:
+			case <-q.poison:
+				q.dropped.Add(uint64(len(es)))
+				return
+			}
+			continue
+		}
+		if q.doneProds >= q.producers {
+			q.mu.Unlock()
+			panic(fmt.Sprintf("queue: enqueue into closed queue %q", q.name))
+		}
+		take := len(es)
+		if q.bound > 0 && take > q.bound-q.n {
+			take = q.bound - q.n
+		}
+		wasEmpty := q.n == 0
+		for _, e := range es[:take] {
+			q.push(e)
+		}
+		if int64(q.n) > q.maxLen.Load() {
+			q.maxLen.Store(int64(q.n))
+		}
+		var wake chan struct{}
+		var notify chan<- struct{}
+		if wasEmpty {
+			wake = q.wake
+			q.wake = make(chan struct{})
+			notify = q.notify
+		}
+		q.mu.Unlock()
+
+		q.enq.Add(uint64(take))
+		q.st.RecordInBatch(es[0].TS, es[take-1].TS, take)
+		if wake != nil {
+			close(wake)
+		}
+		q.ping(notify)
+		es = es[take:]
+	}
+}
+
 // Done implements op.Sink: it counts producer end-of-stream signals. The
 // downstream Done is not sent here — it is sent by the draining scheduler
 // once the buffer is empty, preserving element/EOS ordering.
@@ -328,7 +390,112 @@ func (q *Queue) Drain(max int) (delivered int, open bool) {
 		}
 		delivered++
 	}
+	// Delivering exactly max elements may have emptied the buffer with the
+	// input already closed; propagate the final Done now instead of making
+	// the executor pay one more wakeup just to learn the queue is finished.
+	if q.closeIfDrained() {
+		return delivered, false
+	}
 	return delivered, true
+}
+
+// closeIfDrained marks the queue closed and propagates Done downstream if
+// the buffer is empty, every producer has finished, and Done has not been
+// sent yet. It reports whether it closed the queue. Caller must be the
+// single draining goroutine and must not hold mu.
+func (q *Queue) closeIfDrained() bool {
+	q.mu.Lock()
+	if q.n != 0 || q.doneProds < q.producers || q.outClosed {
+		q.mu.Unlock()
+		return false
+	}
+	q.outClosed = true
+	q.mu.Unlock()
+	for _, s := range q.subs {
+		s.sink.Done(s.port)
+	}
+	return true
+}
+
+// DrainBatch dequeues up to max elements (bounded also by len(scratch))
+// with a single lock acquisition: the elements are copied out of the ring
+// into the caller-owned scratch slice under the lock, and delivered to the
+// subscribers outside it. The space-channel backpressure wakeup is
+// coalesced into one signal per batch, and the queue's output counter is
+// bumped once via the bulk stats path. Like Drain it reports how many
+// elements were delivered and whether the queue can still yield work;
+// when the batch empties the buffer with the input already closed, the
+// final Done is propagated immediately and open is false.
+//
+// Scratch ownership: the slice is only written between the call and the
+// return; the queue keeps no reference to it, so the caller may reuse it
+// for every call. Only one goroutine may call DrainBatch/Drain at a time.
+func (q *Queue) DrainBatch(scratch []stream.Element, max int) (n int, open bool) {
+	if max <= 0 {
+		max = 1
+	}
+	if max > len(scratch) {
+		max = len(scratch)
+	}
+	q.mu.Lock()
+	if q.n == 0 || max == 0 {
+		if q.n == 0 && q.doneProds >= q.producers && !q.outClosed {
+			q.outClosed = true
+			q.mu.Unlock()
+			for _, s := range q.subs {
+				s.sink.Done(s.port)
+			}
+			return 0, false
+		}
+		closed := q.outClosed
+		q.mu.Unlock()
+		return 0, !closed
+	}
+	take := max
+	if take > q.n {
+		take = q.n
+	}
+	// Copy out of the ring in at most two contiguous chunks, clearing the
+	// vacated slots so the buffer does not pin payloads.
+	first := len(q.buf) - q.head
+	if first > take {
+		first = take
+	}
+	copy(scratch, q.buf[q.head:q.head+first])
+	copy(scratch[first:take], q.buf[:take-first])
+	clear(q.buf[q.head : q.head+first])
+	clear(q.buf[:take-first])
+	wasFull := q.bound > 0 && q.n >= q.bound
+	q.head = (q.head + take) % len(q.buf)
+	q.n -= take
+	var space chan struct{}
+	if wasFull && q.n < q.bound {
+		space = q.space
+		q.space = make(chan struct{})
+	}
+	closing := q.n == 0 && q.doneProds >= q.producers && !q.outClosed
+	if closing {
+		q.outClosed = true
+	}
+	q.mu.Unlock()
+
+	if space != nil {
+		close(space)
+	}
+	q.deq.Add(uint64(take))
+	q.st.RecordOut(take)
+	for i := 0; i < take; i++ {
+		for _, s := range q.subs {
+			s.sink.Process(s.port, scratch[i])
+		}
+	}
+	if closing {
+		for _, s := range q.subs {
+			s.sink.Done(s.port)
+		}
+		return take, false
+	}
+	return take, true
 }
 
 // HasWork reports whether a Drain call would deliver at least one element

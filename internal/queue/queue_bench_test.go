@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/dsms/hmts/internal/stream"
@@ -59,4 +60,107 @@ func BenchmarkProducerConsumer(b *testing.B) {
 	}
 	q.Done(0)
 	<-done
+}
+
+// BenchmarkBatchedTransfer amortizes the queue mutex over whole batches on
+// both sides: ProcessBatch in, DrainBatch out, single-threaded.
+func BenchmarkBatchedTransfer(b *testing.B) {
+	q := New("q", 0)
+	q.Subscribe(sinkhole{}, 0)
+	const batch = 64
+	burst := make([]stream.Element, batch)
+	scratch := make([]stream.Element, batch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		for j := range burst {
+			burst[j].TS = int64(i + j)
+		}
+		q.ProcessBatch(0, burst)
+		q.DrainBatch(scratch, batch)
+	}
+}
+
+// benchTransfer pushes b.N elements through one queue from nprod
+// concurrent producers to one draining consumer and reports per-element
+// cost. batchedEnq uses ProcessBatch bursts of 64; batchedDrain uses
+// DrainBatch with a reused scratch slice — the before/after pairs for the
+// hot-path batching.
+func benchTransfer(b *testing.B, nprod, bound int, batchedEnq, batchedDrain bool) {
+	q := New("q", bound)
+	q.SetProducers(nprod)
+	q.Subscribe(sinkhole{}, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		scratch := make([]stream.Element, 256)
+		for {
+			var open bool
+			if batchedDrain {
+				_, open = q.DrainBatch(scratch, 256)
+			} else {
+				_, open = q.Drain(256)
+			}
+			if !open {
+				return
+			}
+			q.WaitWork(nil)
+		}
+	}()
+	per := b.N / nprod
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < nprod; p++ {
+		n := per
+		if p == 0 {
+			n += b.N - per*nprod
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			if batchedEnq {
+				const burst = 64
+				buf := make([]stream.Element, 0, burst)
+				for i := 0; i < n; i++ {
+					buf = append(buf, stream.Element{TS: int64(i)})
+					if len(buf) == burst {
+						q.ProcessBatch(0, buf)
+						buf = buf[:0]
+					}
+				}
+				q.ProcessBatch(0, buf)
+			} else {
+				for i := 0; i < n; i++ {
+					q.Process(0, stream.Element{TS: int64(i)})
+				}
+			}
+			q.Done(0)
+		}(n)
+	}
+	wg.Wait()
+	<-done
+}
+
+// BenchmarkSingleProducer compares the per-element and batched transfer
+// paths with one producer. The generous bound keeps the measurement in
+// steady state — unbounded, fast batched producers outrun the drainer and
+// the number degenerates into ring-growth cost.
+func BenchmarkSingleProducer(b *testing.B) {
+	b.Run("perElement", func(b *testing.B) { benchTransfer(b, 1, 4096, false, false) })
+	b.Run("batched", func(b *testing.B) { benchTransfer(b, 1, 4096, true, true) })
+}
+
+// BenchmarkMultiProducer compares the paths under producer contention —
+// the per-tuple synchronization overhead the batched path amortizes.
+func BenchmarkMultiProducer(b *testing.B) {
+	b.Run("perElement", func(b *testing.B) { benchTransfer(b, 4, 4096, false, false) })
+	b.Run("batched", func(b *testing.B) { benchTransfer(b, 4, 4096, true, true) })
+	b.Run("batchedDrainOnly", func(b *testing.B) { benchTransfer(b, 4, 4096, false, true) })
+}
+
+// BenchmarkBoundedBackpressure compares the paths when the queue bound
+// engages and the space-channel wakeups matter.
+func BenchmarkBoundedBackpressure(b *testing.B) {
+	b.Run("perElement", func(b *testing.B) { benchTransfer(b, 4, 512, false, false) })
+	b.Run("batched", func(b *testing.B) { benchTransfer(b, 4, 512, true, true) })
 }

@@ -85,16 +85,13 @@ func TestDoneOnlyAfterDrainingBuffer(t *testing.T) {
 	if q.Closed() {
 		t.Fatal("queue closed before drain")
 	}
+	// The drain that empties the buffer with the input already closed
+	// propagates Done in the same call — even when it delivered exactly
+	// max elements — so the executor never pays a wakeup just to learn
+	// the queue is finished.
 	n, open := q.Drain(1)
-	if n != 1 || !open {
-		t.Fatalf("first drain = (%d, %v)", n, open)
-	}
-	if len(rec.done) != 0 {
-		t.Fatal("Done propagated before buffer empty")
-	}
-	n, open = q.Drain(1)
-	if n != 0 || open {
-		t.Fatalf("final drain = (%d, %v)", n, open)
+	if n != 1 || open {
+		t.Fatalf("closing drain = (%d, %v), want (1, false)", n, open)
 	}
 	if len(rec.done) != 1 || !q.Closed() {
 		t.Fatal("Done not propagated exactly once")
@@ -105,6 +102,39 @@ func TestDoneOnlyAfterDrainingBuffer(t *testing.T) {
 	}
 	if len(rec.done) != 1 {
 		t.Fatal("duplicate Done")
+	}
+}
+
+// TestDrainExactMaxClosesQueue pins the regression where Drain delivered
+// exactly max elements that emptied the buffer with the input closed but
+// still reported open=true, costing the executor a wasted wakeup before
+// Done propagated.
+func TestDrainExactMaxClosesQueue(t *testing.T) {
+	q := New("q", 0)
+	rec := &recorder{}
+	q.Subscribe(rec, 0)
+	for i := 0; i < 64; i++ {
+		q.Process(0, stream.Element{Key: int64(i)})
+	}
+	q.Done(0)
+	n, open := q.Drain(64)
+	if n != 64 || open {
+		t.Fatalf("Drain(64) = (%d, %v), want (64, false)", n, open)
+	}
+	if len(rec.done) != 1 || !q.Closed() {
+		t.Fatalf("Done not propagated with the closing batch: done=%v closed=%v", rec.done, q.Closed())
+	}
+	// Input still open: an exactly-max drain that empties the buffer must
+	// NOT close the queue.
+	q2 := New("q2", 0)
+	rec2 := &recorder{}
+	q2.Subscribe(rec2, 0)
+	q2.Process(0, stream.Element{})
+	if n, open := q2.Drain(1); n != 1 || !open {
+		t.Fatalf("Drain(1) with live input = (%d, %v), want (1, true)", n, open)
+	}
+	if len(rec2.done) != 0 {
+		t.Fatal("Done propagated while input still open")
 	}
 }
 

@@ -88,6 +88,32 @@ func deliverTo(t *srcTarget, e stream.Element) {
 	t.sink.Process(t.port, e)
 }
 
+// ProcessBatch implements op.BatchSink: a bursting source hands a whole
+// burst over in one call, and each target that supports batched enqueue
+// (notably the decoupling queue) receives it under a single lock
+// acquisition instead of one per element.
+func (a *srcAdapter) ProcessBatch(_ int, es []stream.Element) {
+	a.d.world.RLock()
+	defer a.d.world.RUnlock()
+	for i := range a.targets {
+		deliverBatchTo(&a.targets[i], es)
+	}
+}
+
+func deliverBatchTo(t *srcTarget, es []stream.Element) {
+	if t.gate != nil {
+		t.gate.Lock()
+		defer t.gate.Unlock()
+	}
+	if bs, ok := t.sink.(op.BatchSink); ok {
+		bs.ProcessBatch(t.port, es)
+		return
+	}
+	for _, e := range es {
+		t.sink.Process(t.port, e)
+	}
+}
+
 // Done implements op.Sink.
 func (a *srcAdapter) Done(int) {
 	a.d.world.RLock()

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/dsms/hmts/internal/stream"
 )
 
 // Exec is a level-2 partition executor: one goroutine that drains a group
@@ -16,6 +18,7 @@ type Exec struct {
 	units   []*Unit
 	strat   Strategy
 	batch   int
+	scratch []stream.Element // reused by every DrainBatch; owned by run()
 	quantum time.Duration
 	ts      *TS
 	proc    *Proc
@@ -43,6 +46,7 @@ func newExec(name string, units []*Unit, strat Strategy, batch int, quantum time
 		units:   units,
 		strat:   strat,
 		batch:   batch,
+		scratch: make([]stream.Element, batch),
 		quantum: quantum,
 		ts:      ts,
 		world:   world,
@@ -156,7 +160,10 @@ func (x *Exec) runSlice() bool {
 	}
 }
 
-// drain runs one batch with gate locking and panic containment.
+// drain runs one batch with gate locking and panic containment. It uses
+// the batched transfer path: up to batch elements are copied out of the
+// queue under one lock acquisition into the executor's scratch slice and
+// delivered downstream outside the queue lock.
 func (x *Exec) drain(u *Unit) (n int, open bool, err error) {
 	if u.Gate != nil {
 		u.Gate.Lock()
@@ -167,7 +174,7 @@ func (x *Exec) drain(u *Unit) (n int, open bool, err error) {
 			err = fmt.Errorf("sched: operator panic in partition of %s: %v", u.Q.Name(), r)
 		}
 	}()
-	n, open = u.Q.Drain(x.batch)
+	n, open = u.Q.DrainBatch(x.scratch, x.batch)
 	return n, open, nil
 }
 

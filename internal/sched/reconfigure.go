@@ -7,6 +7,7 @@ import (
 	"github.com/dsms/hmts/internal/graph"
 	"github.com/dsms/hmts/internal/op"
 	"github.com/dsms/hmts/internal/queue"
+	"github.com/dsms/hmts/internal/stream"
 )
 
 // SwitchGroups re-assigns the existing virtual operators to a new set of
@@ -144,8 +145,9 @@ func (d *Deployment) Reconfigure(plan Plan, strategy string) error {
 			continue
 		}
 		q := d.queues[k]
+		scratch := make([]stream.Element, 1024)
 		for q.Len() > 0 {
-			q.Drain(1024)
+			q.DrainBatch(scratch, len(scratch))
 		}
 		if q.InputClosed() && !q.Closed() {
 			q.Drain(1) // propagate the pending Done

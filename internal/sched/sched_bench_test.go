@@ -1,8 +1,13 @@
 package sched
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
+
+	"github.com/dsms/hmts/internal/queue"
+	"github.com/dsms/hmts/internal/stream"
 )
 
 // BenchmarkTSAcquireRelease measures the level-3 arbitration cost per
@@ -34,6 +39,67 @@ func BenchmarkStrategyPick(b *testing.B) {
 					b.Fatal("no pick")
 				}
 			}
+		})
+	}
+}
+
+// benchExecThroughput pushes b.N elements through a level-2 executor
+// draining nq queues from nprod producers per queue — the engine's hot
+// path end to end (enqueue, strategy pick, batched drain, DI delivery).
+// ns/op is the per-element cost.
+func benchExecThroughput(b *testing.B, nq, nprod, batch int) {
+	var world sync.RWMutex
+	units := make([]*Unit, nq)
+	qs := make([]*queue.Queue, nq)
+	for i := range units {
+		// Bounded so the measurement stays in steady state instead of
+		// degenerating into ring growth when producers outrun the executor.
+		q := queue.New(fmt.Sprintf("q%d", i), 4096)
+		q.SetProducers(nprod)
+		q.Subscribe(devnull{}, 0)
+		qs[i] = q
+		units[i] = &Unit{Q: q}
+	}
+	x := newExec("bench", units, &RoundRobin{}, batch, time.Millisecond, nil, 0, &world, nil)
+	per := b.N / (nq * nprod)
+	b.ReportAllocs()
+	b.ResetTimer()
+	x.start()
+	var wg sync.WaitGroup
+	for qi, q := range qs {
+		for p := 0; p < nprod; p++ {
+			n := per
+			if qi == 0 && p == 0 {
+				n += b.N - per*nq*nprod
+			}
+			wg.Add(1)
+			go func(q *queue.Queue, n int) {
+				defer wg.Done()
+				const burst = 64
+				buf := make([]stream.Element, 0, burst)
+				for i := 0; i < n; i++ {
+					buf = append(buf, stream.Element{TS: int64(i)})
+					if len(buf) == burst {
+						q.ProcessBatch(0, buf)
+						buf = buf[:0]
+					}
+				}
+				q.ProcessBatch(0, buf)
+				q.Done(0)
+			}(q, n)
+		}
+	}
+	wg.Wait()
+	x.wait()
+}
+
+// BenchmarkExecThroughput quantifies the batched drain win at the
+// executor: batch=1 is the per-element baseline (one lock round-trip and
+// one strategy decision per tuple), larger batches amortize both.
+func BenchmarkExecThroughput(b *testing.B) {
+	for _, batch := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("q4p2batch%d", batch), func(b *testing.B) {
+			benchExecThroughput(b, 4, 2, batch)
 		})
 	}
 }

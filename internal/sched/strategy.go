@@ -6,8 +6,11 @@ import "math"
 // pluggable level-2 policy of the architecture (paper §4.2.2: "it is
 // possible to choose arbitrary strategies on the second level"). Pick
 // returns the index of a unit that is ready (non-closed with work), or -1
-// if none is. Strategies are owned by a single executor and need no
-// internal locking.
+// if none is. The executor then drains up to Options.Batch elements from
+// the picked queue in one batched transfer (Queue.DrainBatch into the
+// executor's scratch buffer), so one Pick decision — and one queue lock
+// acquisition — is amortized over the whole batch. Strategies are owned
+// by a single executor and need no internal locking.
 type Strategy interface {
 	Name() string
 	Pick(units []*Unit) int
@@ -15,7 +18,11 @@ type Strategy interface {
 
 // FIFO processes elements in global arrival order: it picks the ready unit
 // whose oldest buffered element has the smallest event timestamp. FIFO
-// maximizes early results at the price of memory (paper §6.6).
+// maximizes early results at the price of memory (paper §6.6). Because the
+// executor drains a whole batch from the picked queue, global order is
+// approximated at batch granularity — elements beyond the first of a batch
+// may be younger than another queue's front; shrink Options.Batch to
+// tighten the interleaving (1 restores exact global arrival order).
 type FIFO struct{}
 
 // Name implements Strategy.

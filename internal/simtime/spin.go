@@ -1,6 +1,10 @@
 package simtime
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Busy burns CPU for approximately d nanoseconds of wall time. Unlike
 // Sleep it keeps the goroutine runnable, which is how a genuinely expensive
@@ -8,21 +12,91 @@ import "time"
 // operator to reproduce the paper's "2 second complex predicate" at any
 // time scale.
 //
-// For durations above coarse (~100µs) it sleeps in slices to avoid melting
-// the host while still holding the executing goroutine; below that it spins
-// so short costs stay accurate.
+// Costs of 1ms and above sleep all but spinCap of the budget: a simulated
+// expensive operator must not monopolize a core for milliseconds (on a
+// single-CPU host that starves every other goroutine and inverts the
+// latency experiments), and at that scale the time.Sleep overshoot is a
+// tolerable fraction. Sub-millisecond costs — the scale every capacity
+// experiment uses — are burned entirely by spinning, because the same
+// overshoot (commonly around a timer granularity, ~1ms on a busy host)
+// would swamp them.
+//
+// The spin phase reads the clock sparingly: a time.Since call costs tens
+// of nanoseconds (more when several operators spin concurrently and hammer
+// the vDSO), so for the microsecond-scale costs the capacity experiments
+// use, checking the clock every iteration makes the timer reads themselves
+// a visible fraction of the configured cost. Instead the loop burns a
+// calibrated block of arithmetic sized to roughly half the remaining
+// budget between clock reads, and only close to the deadline falls back to
+// per-iteration checks, so the effective cost tracks d closely at every
+// scale.
 func Busy(d int64) {
 	if d <= 0 {
 		return
 	}
-	const coarse = 100_000 // 100µs
+	const spinCap = 500_000 // pure-spin budget ceiling, ns
 	start := time.Now()
-	if d > coarse {
+	if d >= 2*spinCap {
 		// Occupy the goroutine without saturating a core: sleep most of
 		// the budget, then spin the remainder for accuracy.
-		time.Sleep(time.Duration(d - coarse))
+		time.Sleep(time.Duration(d - spinCap))
 	}
-	for int64(time.Since(start)) < d {
-		// spin
+	calOnce.Do(calibrate)
+	const tailNS = 512 // below this, check the clock every iteration
+	for {
+		rem := d - int64(time.Since(start))
+		if rem <= 0 {
+			return
+		}
+		if rem > tailNS {
+			if n := int(float64(rem-tailNS) * itersPerNS / 2); n > 0 {
+				spin(n)
+				continue
+			}
+		}
+		for int64(time.Since(start)) < d {
+			// tail spin
+		}
+		return
+	}
+}
+
+var (
+	calOnce    sync.Once
+	itersPerNS float64 // spin-loop iterations per nanosecond, measured once
+
+	// spinSink receives each spin block's result so the compiler cannot
+	// eliminate the loop; atomic because operators spin concurrently.
+	spinSink atomic.Uint64
+)
+
+// spin burns n iterations of cheap data-dependent arithmetic with no
+// clock reads.
+func spin(n int) {
+	s := spinSink.Load()
+	for i := 0; i < n; i++ {
+		s = s*2862933555777941757 + 3037000493
+	}
+	spinSink.Store(s)
+}
+
+// calibrate measures the spin-loop rate. The fastest of a few probes is
+// used so a preemption during calibration cannot understate the rate
+// (overstating a block's duration would make Busy overshoot; the adaptive
+// re-check halves any error away, but a good estimate keeps clock reads
+// rare).
+func calibrate() {
+	const probe = 1 << 18
+	bestNS := int64(1<<63 - 1)
+	for k := 0; k < 3; k++ {
+		t0 := time.Now()
+		spin(probe)
+		if el := int64(time.Since(t0)); el > 0 && el < bestNS {
+			bestNS = el
+		}
+	}
+	itersPerNS = float64(probe) / float64(bestNS)
+	if itersPerNS <= 0 {
+		itersPerNS = 1
 	}
 }

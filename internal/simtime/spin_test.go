@@ -1,0 +1,48 @@
+package simtime
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBusyToleranceBand: Busy must never return early, and its median
+// burned time must stay within a tolerance band of the budget for the
+// cost scales the capacity experiments use. The band is generous — a
+// shared CI host preempts freely and time.Sleep overshoots — but it pins
+// the property the §5.1.2 validation depends on: the effective cost
+// tracks the configured cost instead of being inflated by clock reads.
+func TestBusyToleranceBand(t *testing.T) {
+	Busy(1000) // pay one-time calibration outside the measurement
+	for _, budget := range []int64{1_000, 10_000, 200_000} {
+		const runs = 31
+		ds := make([]int64, runs)
+		for i := range ds {
+			t0 := time.Now()
+			Busy(budget)
+			ds[i] = int64(time.Since(t0))
+			if ds[i] < budget {
+				t.Fatalf("Busy(%d) returned after %dns — early return", budget, ds[i])
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		med := ds[runs/2]
+		slack := budget // allow 100% overshoot, floored for tiny budgets
+		if slack < 25_000 {
+			slack = 25_000
+		}
+		if med > budget+slack {
+			t.Errorf("Busy(%d): median burned %dns exceeds tolerance %dns", budget, med, budget+slack)
+		}
+	}
+}
+
+// TestBusyZeroAndNegative: non-positive budgets return immediately.
+func TestBusyZeroAndNegative(t *testing.T) {
+	t0 := time.Now()
+	Busy(0)
+	Busy(-5)
+	if el := time.Since(t0); el > 100*time.Millisecond {
+		t.Fatalf("Busy(<=0) burned %v", el)
+	}
+}

@@ -40,6 +40,30 @@ func (s *OpStats) RecordIn(ts int64) {
 	s.lastIn.Store(ts)
 }
 
+// RecordInBatch notes n arriving elements spanning event times firstTS to
+// lastTS in one call — the bulk mirror of RecordIn for batched enqueues.
+// The interarrival estimator d(v) receives one observation, the mean gap
+// across the batch relative to the previous arrival, so a burst of n
+// elements costs one EWMA update instead of n.
+func (s *OpStats) RecordInBatch(firstTS, lastTS int64, n int) {
+	if n <= 0 {
+		return
+	}
+	s.in.Add(uint64(n))
+	if s.haveIn.Load() {
+		prev := s.lastIn.Load()
+		if lastTS >= prev {
+			s.interNS.Observe(float64(lastTS-prev) / float64(n))
+		}
+	} else {
+		s.haveIn.Store(true)
+		if n > 1 && lastTS >= firstTS {
+			s.interNS.Observe(float64(lastTS-firstTS) / float64(n-1))
+		}
+	}
+	s.lastIn.Store(lastTS)
+}
+
 // RecordOut notes n emitted elements.
 func (s *OpStats) RecordOut(n int) { s.out.Add(uint64(n)) }
 

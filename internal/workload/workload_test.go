@@ -215,3 +215,110 @@ func TestRampSourceEndToEnd(t *testing.T) {
 		t.Fatalf("ramp did not accelerate: early gap %d, late gap %d", early, late)
 	}
 }
+
+// batchCapture is a capture that also accepts bursts, recording how they
+// were delivered.
+type batchCapture struct {
+	capture
+	bursts []int
+}
+
+func (c *batchCapture) ProcessBatch(_ int, es []stream.Element) {
+	c.mu.Lock()
+	c.els = append(c.els, es...)
+	c.bursts = append(c.bursts, len(es))
+	c.mu.Unlock()
+}
+
+// TestBatchedStampedSource: with SetBatch and a batch-capable sink, a
+// stamped source delivers identical elements and timestamps in bursts.
+func TestBatchedStampedSource(t *testing.T) {
+	src := New("s", 100, SeqKeys(), FixedRate{Hz: 1000}, nil)
+	src.SetBatch(32)
+	c := &batchCapture{}
+	src.Run(c, 0)
+	if len(c.els) != 100 || c.done != 1 {
+		t.Fatalf("emitted %d, done %d", len(c.els), c.done)
+	}
+	if len(c.bursts) != 4 { // 32+32+32+4
+		t.Fatalf("bursts %v, want 4 of them", c.bursts)
+	}
+	for i, e := range c.els {
+		want := int64(i+1) * 1_000_000
+		if e.TS != want || e.Key != int64(i) {
+			t.Fatalf("element %d = %+v, want ts %d key %d", i, e, want, i)
+		}
+	}
+	if src.Emitted() != 100 {
+		t.Fatalf("Emitted %d", src.Emitted())
+	}
+}
+
+// TestBatchedSourceFallsBackToProcess: without a batch-capable sink the
+// batched source degrades to per-element delivery.
+func TestBatchedSourceFallsBackToProcess(t *testing.T) {
+	src := New("s", 50, SeqKeys(), FixedRate{Hz: 1000}, nil)
+	src.SetBatch(16)
+	c := &capture{}
+	src.Run(c, 0)
+	if len(c.els) != 50 || c.done != 1 {
+		t.Fatalf("emitted %d, done %d", len(c.els), c.done)
+	}
+	for i, e := range c.els {
+		if e.Key != int64(i) {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}
+
+// TestBatchedRealTimeSourceFlushesBeforeSleep: a paced batched source
+// must not delay due elements behind a pacing sleep — every element still
+// arrives no earlier than its schedule, and all arrive.
+func TestBatchedRealTimeSourceFlushesBeforeSleep(t *testing.T) {
+	clock := simtime.NewReal()
+	src := New("s", 20, SeqKeys(), FixedRate{Hz: 1000}, clock)
+	src.SetBatch(8)
+	c := &batchCapture{}
+	src.Run(c, 0)
+	if len(c.els) != 20 || c.done != 1 {
+		t.Fatalf("emitted %d, done %d", len(c.els), c.done)
+	}
+	// Pacing forces a flush before each sleep, so bursts stay size 1 when
+	// the source is keeping schedule.
+	for _, b := range c.bursts {
+		if b > 8 {
+			t.Fatalf("burst of %d exceeds the configured batch", b)
+		}
+	}
+	for i := 1; i < len(c.els); i++ {
+		if c.els[i].TS < c.els[i-1].TS {
+			t.Fatalf("timestamps regressed at %d", i)
+		}
+	}
+}
+
+// TestBatchedSourceStopFlushes: stopping a batched source delivers the
+// partial burst it had accumulated.
+func TestBatchedSourceStopFlushes(t *testing.T) {
+	src := New("s", 1_000_000, SeqKeys(), FixedRate{}, nil)
+	src.SetBatch(64)
+	c := &batchCapture{}
+	go func() {
+		// Run flat out; stop as soon as something was emitted.
+		for src.Emitted() == 0 {
+		}
+		src.Stop()
+	}()
+	src.Run(c, 0)
+	if c.done != 1 {
+		t.Fatal("no Done after stop")
+	}
+	if got := int(src.Emitted()); got != len(c.els) {
+		t.Fatalf("Emitted %d but delivered %d", got, len(c.els))
+	}
+	for i, e := range c.els {
+		if e.Key != int64(i) {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}

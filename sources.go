@@ -59,6 +59,20 @@ func Custom(src op.Source, rateHintHz float64) SourceSpec {
 	return SourceSpec{src: src, rateHint: rateHintHz}
 }
 
+// Batched configures a generated source to hand bursts of up to n due
+// elements to the engine in one call, amortizing the per-element enqueue
+// synchronization on the source's decoupling queue. It only coalesces
+// elements that are due at the same instant — a paced source still emits
+// on schedule — so it pays off for flat-out, replayed, and bursty-phase
+// workloads. It is a no-op for Custom sources (batch in the source's own
+// Run via op.BatchSink instead).
+func (sp SourceSpec) Batched(n int) SourceSpec {
+	if ws, ok := sp.src.(*workload.Source); ok {
+		ws.SetBatch(n)
+	}
+	return sp
+}
+
 // UniformKeys, ZipfKeys and SeqKeys re-export the workload generators for
 // use with Generate.
 var (
