@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race saturation bench
+.PHONY: ci vet build test race saturation bench benchsmoke
 
-# The gate every PR must pass.
-ci: vet build test race saturation
+# The gate every PR must pass. benchsmoke compiles and runs every benchmark
+# once so a PR cannot rot the measurement harness silently.
+ci: vet build test race saturation benchsmoke
 
+# Covers cmd/ as well as internal/ — ./... is the whole module.
 vet:
 	$(GO) vet ./...
 
@@ -24,5 +26,13 @@ race:
 saturation:
 	$(GO) test -run TestSaturationShape -count=3 ./internal/exp
 
+# Full benchmark run; the scheduler numbers also land in BENCH_sched.json
+# (name -> ns/op, allocs/op) for machine diffing across PRs.
 bench:
-	$(GO) test -bench . -benchmem ./internal/queue ./internal/sched
+	$(GO) test -bench . -benchmem ./internal/queue
+	$(GO) test -bench . -benchmem ./internal/sched | $(GO) run ./cmd/benchjson > BENCH_sched.json
+	@echo wrote BENCH_sched.json
+
+# One iteration of every benchmark: a compile-and-smoke pass for ci.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched

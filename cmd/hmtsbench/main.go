@@ -7,12 +7,15 @@
 //	hmtsbench -exp all            # every figure at standard scale
 //	hmtsbench -exp fig9 -scale paper
 //	hmtsbench -exp fig6 -format csv -series
+//	hmtsbench -exp fig7 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -22,13 +25,43 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment: fig6, fig7, fig8, fig9, fig11, latency, saturation or all")
-		scale  = flag.String("scale", "std", "fidelity: paper (minutes), std (seconds), fast (sub-second)")
-		format = flag.String("format", "table", "output: table or csv")
-		series = flag.Bool("series", false, "also dump time series as CSV")
-		plot   = flag.Bool("plot", false, "render the report's time series as ASCII charts")
+		which   = flag.String("exp", "all", "experiment: fig6, fig7, fig8, fig9, fig11, latency, saturation or all")
+		scale   = flag.String("scale", "std", "fidelity: paper (minutes), std (seconds), fast (sub-second)")
+		format  = flag.String("format", "table", "output: table or csv")
+		series  = flag.Bool("series", false, "also dump time series as CSV")
+		plot    = flag.Bool("plot", false, "render the report's time series as ASCII charts")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the runs to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var sc exp.Scale
 	switch *scale {

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux; served only when -pprof is set
 	"strconv"
 	"strings"
 	"sync"
@@ -42,7 +44,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof debug endpoints on this address (e.g. 127.0.0.1:6060); disabled when empty")
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("hmtsd pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("hmtsd: pprof listener: %v", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("hmtsd: %v", err)

@@ -8,6 +8,7 @@ package queue
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -37,13 +38,31 @@ type Queue struct {
 	space     chan struct{} // closed+replaced when room appears (bounded only)
 
 	subs   []sub
-	notify chan<- struct{}
+	notify func()
 	poison chan struct{}
+
+	// Gauges: the queue state strategies and samplers consult, published
+	// atomically inside the locked mutation sections so that readers
+	// (FrontTS, Len, HasWork, InputClosed, Closed) never touch mu. The
+	// seqlock pairs frontTS with the length so a reader cannot observe a
+	// front timestamp from a different occupancy state: writers bump gSeq
+	// to odd, store the fields, and bump it back to even; readers retry
+	// while the sequence is odd or changed underneath them.
+	gSeq     atomic.Uint64
+	gFrontTS atomic.Int64
+	gLen     atomic.Int64
+	gFlags   atomic.Uint32
 
 	enq, deq atomic.Uint64
 	maxLen   atomic.Int64
 	dropped  atomic.Uint64
 }
+
+// Gauge flag bits.
+const (
+	gInClosed  = 1 << iota // every producer has signaled Done
+	gOutClosed             // buffer drained and Done propagated downstream
+)
 
 type sub struct {
 	sink interface {
@@ -106,6 +125,7 @@ func (q *Queue) SetProducers(n int) {
 	}
 	q.mu.Lock()
 	q.producers = n
+	q.publishLocked()
 	q.mu.Unlock()
 }
 
@@ -131,45 +151,94 @@ func (q *Queue) Unsubscribe(s interface {
 	panic(fmt.Sprintf("queue: Unsubscribe of unknown edge from %q", q.name))
 }
 
-// SetNotify registers a channel that receives a non-blocking token
-// whenever the queue gains work (becomes non-empty, or its input closes).
-// A partition executor shares one channel across all its queues and blocks
-// on it when idle. Passing nil unregisters.
-func (q *Queue) SetNotify(ch chan<- struct{}) {
+// SetNotify registers a callback invoked (outside the queue lock) after
+// every mutation a scheduler could care about: an enqueue — including into
+// a non-empty queue, so length-ordered strategies stay fresh — and the
+// input closing. The executor owning this queue's partition installs a
+// closure that marks the unit dirty and wakes the executor; because the
+// callback identifies the queue, a shared wake channel no longer needs an
+// anonymous ping per event. Passing nil unregisters. The gauges are always
+// published before the callback fires, so a consumer that reads them in
+// response to a notification observes at least the notifying event.
+func (q *Queue) SetNotify(fn func()) {
 	q.mu.Lock()
-	q.notify = ch
+	q.notify = fn
 	q.mu.Unlock()
 }
 
-// ping sends a non-blocking token to the registered notify channel.
-func (q *Queue) ping(ch chan<- struct{}) {
-	if ch == nil {
-		return
+// ping invokes a notify callback snapshot taken under mu.
+func (q *Queue) ping(fn func()) {
+	if fn != nil {
+		fn()
 	}
-	select {
-	case ch <- struct{}{}:
-	default:
+}
+
+// publishLocked refreshes the atomic gauges from the buffer state. Caller
+// holds mu; the seqlock makes the multi-word update appear atomic to the
+// lock-free readers.
+func (q *Queue) publishLocked() {
+	var ts int64
+	if q.n > 0 {
+		ts = q.buf[q.head].TS
+	}
+	var flags uint32
+	if q.doneProds >= q.producers {
+		flags |= gInClosed
+	}
+	if q.outClosed {
+		flags |= gOutClosed
+	}
+	q.gSeq.Add(1) // odd: readers hold off
+	q.gFrontTS.Store(ts)
+	q.gLen.Store(int64(q.n))
+	q.gFlags.Store(flags)
+	q.gSeq.Add(1) // even: stable again
+}
+
+// loadGauges returns a coherent (frontTS, length, flags) snapshot without
+// taking mu. frontTS is meaningful only when n > 0.
+func (q *Queue) loadGauges() (ts int64, n int, flags uint32) {
+	for {
+		s := q.gSeq.Load()
+		if s&1 == 0 {
+			ts = q.gFrontTS.Load()
+			n = int(q.gLen.Load())
+			flags = q.gFlags.Load()
+			if q.gSeq.Load() == s {
+				return ts, n, flags
+			}
+		}
+		// A writer is mid-publish; writers hold mu for a handful of
+		// instructions, so yield rather than burn the (possibly single)
+		// CPU it needs to finish.
+		runtime.Gosched()
 	}
 }
 
 // FrontTS returns the event timestamp of the oldest buffered element, or
 // false if the queue is empty. FIFO strategies use it to process elements
-// in global arrival order.
+// in global arrival order. It reads the published gauges and never blocks
+// on the queue lock.
 func (q *Queue) FrontTS() (int64, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.n == 0 {
+	ts, n, _ := q.loadGauges()
+	if n == 0 {
 		return 0, false
 	}
-	return q.buf[q.head].TS, true
+	return ts, true
 }
 
 // Len returns the number of buffered elements; it is the gauge the memory
-// sampler reads for Figure 9.
-func (q *Queue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.n
+// sampler reads for Figure 9. Lock-free.
+func (q *Queue) Len() int { return int(q.gLen.Load()) }
+
+// Gauges returns one coherent lock-free snapshot of everything a
+// scheduling strategy consults: the front element's event timestamp
+// (meaningful only when n > 0), the buffered length, and the input/output
+// closed flags. Strategies prefer this over separate FrontTS/Len/Closed
+// calls — one seqlock round instead of three.
+func (q *Queue) Gauges() (frontTS int64, n int, inClosed, outClosed bool) {
+	ts, n, flags := q.loadGauges()
+	return ts, n, flags&gInClosed != 0, flags&gOutClosed != 0
 }
 
 // MaxLen returns the high-water mark of the buffer.
@@ -181,19 +250,15 @@ func (q *Queue) Enqueued() uint64 { return q.enq.Load() }
 // Dequeued returns the total number of elements ever dequeued.
 func (q *Queue) Dequeued() uint64 { return q.deq.Load() }
 
-// InputClosed reports whether every producer has signaled Done.
+// InputClosed reports whether every producer has signaled Done. Lock-free.
 func (q *Queue) InputClosed() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.doneProds >= q.producers
+	return q.gFlags.Load()&gInClosed != 0
 }
 
 // Closed reports whether the queue is fully finished: input closed, buffer
-// drained, and Done propagated downstream.
+// drained, and Done propagated downstream. Lock-free.
 func (q *Queue) Closed() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.outClosed
+	return q.gFlags.Load()&gOutClosed != 0
 }
 
 // Process implements op.Sink: it enqueues the element, blocking while a
@@ -228,13 +293,13 @@ func (q *Queue) Process(_ int, e stream.Element) {
 	if int64(q.n) > q.maxLen.Load() {
 		q.maxLen.Store(int64(q.n))
 	}
+	q.publishLocked()
 	var wake chan struct{}
-	var notify chan<- struct{}
 	if wasEmpty {
 		wake = q.wake
 		q.wake = make(chan struct{})
-		notify = q.notify
 	}
+	notify := q.notify
 	q.mu.Unlock()
 
 	q.enq.Add(1)
@@ -288,13 +353,13 @@ func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
 		if int64(q.n) > q.maxLen.Load() {
 			q.maxLen.Store(int64(q.n))
 		}
+		q.publishLocked()
 		var wake chan struct{}
-		var notify chan<- struct{}
 		if wasEmpty {
 			wake = q.wake
 			q.wake = make(chan struct{})
-			notify = q.notify
 		}
+		notify := q.notify
 		q.mu.Unlock()
 
 		q.enq.Add(uint64(take))
@@ -313,8 +378,9 @@ func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
 func (q *Queue) Done(int) {
 	q.mu.Lock()
 	q.doneProds++
+	q.publishLocked()
 	var wake chan struct{}
-	var notify chan<- struct{}
+	var notify func()
 	if q.doneProds >= q.producers {
 		wake = q.wake
 		q.wake = make(chan struct{})
@@ -363,6 +429,7 @@ func (q *Queue) Drain(max int) (delivered int, open bool) {
 		if q.n == 0 {
 			if q.doneProds >= q.producers && !q.outClosed {
 				q.outClosed = true
+				q.publishLocked()
 				q.mu.Unlock()
 				for _, s := range q.subs {
 					s.sink.Done(s.port)
@@ -379,6 +446,7 @@ func (q *Queue) Drain(max int) (delivered int, open bool) {
 			space = q.space
 			q.space = make(chan struct{})
 		}
+		q.publishLocked()
 		q.mu.Unlock()
 		if space != nil {
 			close(space)
@@ -410,6 +478,7 @@ func (q *Queue) closeIfDrained() bool {
 		return false
 	}
 	q.outClosed = true
+	q.publishLocked()
 	q.mu.Unlock()
 	for _, s := range q.subs {
 		s.sink.Done(s.port)
@@ -441,6 +510,7 @@ func (q *Queue) DrainBatch(scratch []stream.Element, max int) (n int, open bool)
 	if q.n == 0 || max == 0 {
 		if q.n == 0 && q.doneProds >= q.producers && !q.outClosed {
 			q.outClosed = true
+			q.publishLocked()
 			q.mu.Unlock()
 			for _, s := range q.subs {
 				s.sink.Done(s.port)
@@ -477,6 +547,7 @@ func (q *Queue) DrainBatch(scratch []stream.Element, max int) (n int, open bool)
 	if closing {
 		q.outClosed = true
 	}
+	q.publishLocked()
 	q.mu.Unlock()
 
 	if space != nil {
@@ -499,14 +570,15 @@ func (q *Queue) DrainBatch(scratch []stream.Element, max int) (n int, open bool)
 }
 
 // HasWork reports whether a Drain call would deliver at least one element
-// or propagate the final Done right now.
+// or propagate the final Done right now. It reads the published gauges and
+// never blocks on the queue lock, so strategies can consult every unit per
+// decision without serializing against producers.
 func (q *Queue) HasWork() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.n > 0 {
+	_, n, flags := q.loadGauges()
+	if n > 0 {
 		return true
 	}
-	return q.doneProds >= q.producers && !q.outClosed
+	return flags&gInClosed != 0 && flags&gOutClosed == 0
 }
 
 // WaitWork blocks until the queue has work (elements buffered, or a final

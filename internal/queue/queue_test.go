@@ -286,30 +286,63 @@ func TestWaitWorkAbortsOnStop(t *testing.T) {
 	}
 }
 
-func TestNotifyChannel(t *testing.T) {
+func TestNotifyCallback(t *testing.T) {
 	q := New("q", 0)
 	q.Subscribe(&recorder{}, 0)
-	ch := make(chan struct{}, 1)
-	q.SetNotify(ch)
+	pings := 0
+	q.SetNotify(func() { pings++ })
 	q.Process(0, stream.Element{})
-	select {
-	case <-ch:
-	default:
-		t.Fatal("no notify token after enqueue into empty queue")
+	if pings != 1 {
+		t.Fatalf("pings after enqueue into empty queue: %d, want 1", pings)
 	}
-	// Non-empty enqueue does not ping again.
+	// Enqueues into a non-empty queue ping too: length-ordered strategies
+	// need to hear about the growth.
 	q.Process(0, stream.Element{})
-	select {
-	case <-ch:
-		t.Fatal("unexpected token for enqueue into non-empty queue")
-	default:
+	if pings != 2 {
+		t.Fatalf("pings after second enqueue: %d, want 2", pings)
+	}
+	// The gauges are published before the callback fires.
+	saw := -1
+	q.SetNotify(func() { saw = q.Len() })
+	q.Process(0, stream.Element{TS: 9})
+	if saw != 3 {
+		t.Fatalf("callback observed len %d, want 3", saw)
 	}
 	// Input close pings.
+	pings = 0
+	q.SetNotify(func() { pings++ })
 	q.Done(0)
-	select {
-	case <-ch:
-	default:
-		t.Fatal("no notify token on input close")
+	if pings != 1 {
+		t.Fatalf("pings on input close: %d, want 1", pings)
+	}
+}
+
+func TestGaugesTrackQueueState(t *testing.T) {
+	q := New("q", 0)
+	rec := &recorder{}
+	q.Subscribe(rec, 0)
+	if q.HasWork() || q.InputClosed() || q.Closed() {
+		t.Fatal("fresh queue reports work or closure")
+	}
+	q.Process(0, stream.Element{TS: 7})
+	q.Process(0, stream.Element{TS: 8})
+	if ts, ok := q.FrontTS(); !ok || ts != 7 {
+		t.Fatalf("FrontTS = (%d, %v), want (7, true)", ts, ok)
+	}
+	if q.Len() != 2 || !q.HasWork() {
+		t.Fatalf("len=%d hasWork=%v", q.Len(), q.HasWork())
+	}
+	q.Drain(1)
+	if ts, ok := q.FrontTS(); !ok || ts != 8 {
+		t.Fatalf("FrontTS after pop = (%d, %v), want (8, true)", ts, ok)
+	}
+	q.Done(0)
+	if !q.InputClosed() || q.Closed() {
+		t.Fatalf("inputClosed=%v closed=%v after Done", q.InputClosed(), q.Closed())
+	}
+	q.Drain(4) // deliver the remaining element and propagate Done
+	if !q.Closed() || q.HasWork() || q.Len() != 0 {
+		t.Fatalf("closed=%v hasWork=%v len=%d after final drain", q.Closed(), q.HasWork(), q.Len())
 	}
 }
 

@@ -13,6 +13,16 @@ import (
 // of queues under a strategy, exactly like a small graph-threaded
 // scheduler over its partition (paper §4.2.2). With a TS attached it
 // cooperates on level 3, running only while it holds a run permit.
+//
+// Work discovery uses the dirty-unit protocol: every queue's notify
+// callback marks its unit dirty (a CAS-guarded flag) and, on the false→
+// true transition, pushes the unit's index onto the shared notify channel.
+// The executor consumes indices, clears the flag, and feeds the strategy's
+// incremental index via Update — so one queue event costs one O(log n)
+// index fix instead of an O(n) rescan of every unit, and an idle executor
+// learns exactly which unit woke it. The channel holds one slot per unit;
+// the dedup flag guarantees at most one in-flight token per unit, so the
+// producer-side send can never block.
 type Exec struct {
 	name    string
 	units   []*Unit
@@ -24,9 +34,14 @@ type Exec struct {
 	proc    *Proc
 	world   *sync.RWMutex
 
-	notify chan struct{}
-	stop   chan struct{}
-	done   chan struct{}
+	notify chan int
+	dirty  []atomic.Bool
+	// open counts non-closed units; run() exits when it reaches zero,
+	// replacing the old O(n) all-closed rescan.
+	open atomic.Int32
+
+	stop chan struct{}
+	done chan struct{}
 
 	// onFail receives the panic value if an operator blows up while this
 	// executor drives it; the deployment fail-stops the whole graph.
@@ -50,7 +65,8 @@ func newExec(name string, units []*Unit, strat Strategy, batch int, quantum time
 		quantum: quantum,
 		ts:      ts,
 		world:   world,
-		notify:  make(chan struct{}, 1),
+		notify:  make(chan int, max(len(units), 1)),
+		dirty:   make([]atomic.Bool, len(units)),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		onFail:  onFail,
@@ -59,10 +75,54 @@ func newExec(name string, units []*Unit, strat Strategy, batch int, quantum time
 		x.proc = &Proc{Name: name}
 		x.proc.SetPriority(prio)
 	}
-	for _, u := range units {
-		u.Q.SetNotify(x.notify)
+	for i, u := range units {
+		if !u.closed {
+			x.open.Add(1)
+		}
+		i := i
+		u.Q.SetNotify(func() { x.markDirty(i) })
 	}
+	strat.Init(units)
 	return x
+}
+
+// markDirty is the queues' notify callback: flag the unit and hand its
+// index to the executor exactly once per consumption cycle.
+func (x *Exec) markDirty(i int) {
+	if !x.dirty[i].Load() && x.dirty[i].CompareAndSwap(false, true) {
+		x.notify <- i
+	}
+}
+
+// applyDirty consumes one dirty token. The flag is cleared before the
+// gauges are read, so an event arriving in between re-flags the unit and
+// is re-applied later rather than lost.
+func (x *Exec) applyDirty(i int) {
+	x.dirty[i].Store(false)
+	x.strat.Update(i)
+}
+
+// drainNotify applies all pending dirty tokens without blocking.
+func (x *Exec) drainNotify() {
+	for {
+		select {
+		case i := <-x.notify:
+			x.applyDirty(i)
+		default:
+			return
+		}
+	}
+}
+
+// closeUnit marks a unit finished, removes it from the strategy index and
+// decrements the open counter. Idempotent; executor goroutine only.
+func (x *Exec) closeUnit(i int) {
+	u := x.units[i]
+	if !u.closed {
+		u.closed = true
+		x.open.Add(-1)
+		x.strat.Update(i)
+	}
 }
 
 // Name returns the executor's name.
@@ -93,7 +153,7 @@ func (x *Exec) wait() { <-x.done }
 func (x *Exec) run() {
 	defer close(x.done)
 	for {
-		if x.allClosed() {
+		if x.open.Load() == 0 {
 			return
 		}
 		select {
@@ -111,7 +171,7 @@ func (x *Exec) run() {
 			x.ts.Release(x.proc)
 		}
 		if idle {
-			if x.allClosed() {
+			if x.open.Load() == 0 {
 				return
 			}
 			if !x.waitWork() {
@@ -132,27 +192,35 @@ func (x *Exec) runSlice() bool {
 		default:
 		}
 		x.world.RLock()
-		i := x.strat.Pick(x.units)
+		x.drainNotify()
+		i := x.strat.Pick()
 		if i < 0 {
 			x.world.RUnlock()
 			return true
 		}
 		u := x.units[i]
 		n, open, err := x.drain(u)
+		if err == nil {
+			// Re-index the drained unit from its fresh gauges; closed
+			// units are removed below instead.
+			if open {
+				x.strat.Update(i)
+			}
+		}
 		x.world.RUnlock()
 		x.processed.Add(uint64(n))
 		if err != nil {
 			// An operator downstream of this queue panicked. Contain it:
 			// stop draining the poisoned partition and fail-stop the
 			// deployment.
-			u.closed = true
+			x.closeUnit(i)
 			if x.onFail != nil {
 				x.onFail(err)
 			}
 			return false
 		}
 		if !open {
-			u.closed = true
+			x.closeUnit(i)
 		}
 		if x.quantum > 0 && time.Since(start) >= x.quantum {
 			return false
@@ -178,31 +246,24 @@ func (x *Exec) drain(u *Unit) (n int, open bool, err error) {
 	return n, open, nil
 }
 
-// waitWork blocks until any unit gains work or stop closes; it returns
-// false on stop.
+// waitWork blocks until some unit is ready or stop closes; it returns
+// false on stop or when every unit has finished. It consumes the dirty-
+// unit protocol: each wakeup names the unit that changed, so the cost of
+// an idle-wake cycle is one index update, not a rescan of every unit.
 func (x *Exec) waitWork() bool {
 	for {
-		for _, u := range x.units {
-			if u.ready() {
-				return true
-			}
-		}
-		if x.allClosed() {
+		if x.open.Load() == 0 {
 			return false
 		}
+		if x.strat.Ready() {
+			return true
+		}
 		select {
-		case <-x.notify:
+		case i := <-x.notify:
+			x.applyDirty(i)
+			x.drainNotify()
 		case <-x.stop:
 			return false
 		}
 	}
-}
-
-func (x *Exec) allClosed() bool {
-	for _, u := range x.units {
-		if !u.closed {
-			return false
-		}
-	}
-	return true
 }

@@ -158,3 +158,100 @@ func TestTSMinimumOneSlot(t *testing.T) {
 		t.Fatalf("max %d, want clamp to 1", ts.MaxConcurrent())
 	}
 }
+
+// TestTSLazyRescoreOnPriorityChange raises a waiting process's priority
+// after it enqueued; the heap key is stale, and the lazy re-score at grant
+// time must still order the grants by the fresh priorities.
+func TestTSLazyRescoreOnPriorityChange(t *testing.T) {
+	ts := NewTS(1, 0)
+	holder := &Proc{}
+	if !ts.Acquire(holder, nil) {
+		t.Fatal("initial acquire failed")
+	}
+	order := make(chan string, 2)
+	procs := map[string]*Proc{}
+	for _, name := range []string{"a", "b"} {
+		p := &Proc{Name: name}
+		p.SetPriority(map[string]int{"a": 10, "b": 1}[name])
+		procs[name] = p
+		go func(name string, p *Proc) {
+			if ts.Acquire(p, nil) {
+				order <- name
+				time.Sleep(time.Millisecond)
+				ts.Release(p)
+			}
+		}(name, p)
+	}
+	for ts.Waiting() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Invert the priorities while both wait: b must now be granted first.
+	procs["a"].SetPriority(0)
+	procs["b"].SetPriority(20)
+	ts.Release(holder)
+	want := []string{"b", "a"}
+	for i, w := range want {
+		select {
+		case got := <-order:
+			if got != w {
+				t.Fatalf("grant %d went to %q, want %q", i, got, w)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("grant never happened")
+		}
+	}
+}
+
+// TestTSAbortFromMiddleOfHeap aborts a waiter that is neither the best nor
+// the most recent, exercising indexed heap removal, and checks the
+// remaining waiters still grant in priority order.
+func TestTSAbortFromMiddleOfHeap(t *testing.T) {
+	ts := NewTS(1, 0)
+	holder := &Proc{}
+	if !ts.Acquire(holder, nil) {
+		t.Fatal("initial acquire failed")
+	}
+	order := make(chan int, 2)
+	stopMid := make(chan struct{})
+	aborted := make(chan bool, 1)
+	launch := func(prio int, stop <-chan struct{}, out chan<- int) {
+		before := ts.Waiting()
+		p := &Proc{}
+		p.SetPriority(prio)
+		go func() {
+			got := ts.Acquire(p, stop)
+			if out != nil {
+				if got {
+					order <- prio
+					ts.Release(p)
+				}
+			} else {
+				aborted <- got
+			}
+		}()
+		for ts.Waiting() == before {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	launch(9, nil, order)
+	launch(5, stopMid, nil) // the middle waiter, aborted below
+	launch(1, nil, order)
+	close(stopMid)
+	if got := <-aborted; got {
+		t.Fatal("aborted waiter acquired a permit")
+	}
+	if ts.Waiting() != 2 {
+		t.Fatalf("waiting %d after abort, want 2", ts.Waiting())
+	}
+	ts.Release(holder)
+	for i, want := range []int{9, 1} {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("grant %d went to priority %d, want %d", i, got, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("grant never happened")
+		}
+	}
+}

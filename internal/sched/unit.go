@@ -36,9 +36,7 @@ type Unit struct {
 	// source); Chain breaks steepness ties in favor of earlier operators.
 	SegPos int
 	// closed flips once the queue has fully finished (input closed,
-	// drained, Done propagated). Owned by the executor goroutine.
+	// drained, Done propagated). Owned by the executor goroutine; the
+	// strategies read it through gaugesOf on that same goroutine.
 	closed bool
 }
-
-// ready reports whether the unit can make progress right now.
-func (u *Unit) ready() bool { return !u.closed && u.Q.HasWork() }

@@ -1,43 +1,52 @@
 package stats
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
+
+// noArrival is the lastIn sentinel before the first RecordIn. A real event
+// time of MinInt64 would be mistaken for it, but interarrival math is
+// meaningless that far outside the epoch anyway.
+const noArrival = math.MinInt64
 
 // OpStats tracks what one operator did: element counts, busy time, and the
-// derived per-element cost and input interarrival estimates. Writers are
-// the single executor currently running the operator; readers (the memory
-// sampler, the placement heuristic, metric dumps) are concurrent, so the
-// counters are atomics and the estimators lock internally.
+// derived per-element cost and input interarrival estimates. Operators can
+// have several concurrent producers (every upstream VO enqueues into the
+// operator's queue and records the arrival), and readers (the memory
+// sampler, the placement heuristic, metric dumps) run alongside, so the
+// counters are atomics and the estimators lock internally. The previous
+// arrival time is one packed atomic word exchanged with Swap: each arrival
+// consumes exactly one predecessor, so concurrent producers chain gaps
+// instead of double-counting the first arrival or tearing d(v) across a
+// separate have-flag.
 type OpStats struct {
 	in      atomic.Uint64 // elements received
 	out     atomic.Uint64 // elements emitted
 	busyNS  atomic.Int64  // cumulative processing time
-	lastIn  atomic.Int64  // event time of previous arrival, for d(v)
-	haveIn  atomic.Bool
-	costNS  *EWMA // smoothed per-element processing cost, c(v)
-	interNS *EWMA // smoothed input interarrival time, d(v)
+	lastIn  atomic.Int64  // event time of previous arrival (noArrival before the first), for d(v)
+	costNS  *EWMA         // smoothed per-element processing cost, c(v)
+	interNS *EWMA         // smoothed input interarrival time, d(v)
 }
 
 // NewOpStats returns a ready OpStats.
 func NewOpStats() *OpStats {
-	return &OpStats{
+	s := &OpStats{
 		costNS:  NewEWMA(0.05),
 		interNS: NewEWMA(0.05),
 	}
+	s.lastIn.Store(noArrival)
+	return s
 }
 
 // RecordIn notes one arriving element with event time ts, updating the
 // interarrival estimator d(v).
 func (s *OpStats) RecordIn(ts int64) {
 	s.in.Add(1)
-	if s.haveIn.Load() {
-		prev := s.lastIn.Load()
-		if ts >= prev {
-			s.interNS.Observe(float64(ts - prev))
-		}
-	} else {
-		s.haveIn.Store(true)
+	prev := s.lastIn.Swap(ts)
+	if prev != noArrival && ts >= prev {
+		s.interNS.Observe(float64(ts - prev))
 	}
-	s.lastIn.Store(ts)
 }
 
 // RecordInBatch notes n arriving elements spanning event times firstTS to
@@ -50,18 +59,15 @@ func (s *OpStats) RecordInBatch(firstTS, lastTS int64, n int) {
 		return
 	}
 	s.in.Add(uint64(n))
-	if s.haveIn.Load() {
-		prev := s.lastIn.Load()
+	prev := s.lastIn.Swap(lastTS)
+	switch {
+	case prev != noArrival:
 		if lastTS >= prev {
 			s.interNS.Observe(float64(lastTS-prev) / float64(n))
 		}
-	} else {
-		s.haveIn.Store(true)
-		if n > 1 && lastTS >= firstTS {
-			s.interNS.Observe(float64(lastTS-firstTS) / float64(n-1))
-		}
+	case n > 1 && lastTS >= firstTS:
+		s.interNS.Observe(float64(lastTS-firstTS) / float64(n-1))
 	}
-	s.lastIn.Store(lastTS)
 }
 
 // RecordOut notes n emitted elements.

@@ -134,6 +134,67 @@ func TestOpStatsBusy(t *testing.T) {
 	}
 }
 
+// TestOpStatsConcurrentProducers hammers RecordIn and RecordInBatch from
+// several goroutines. With the old haveIn/lastIn pair, interleaved first
+// arrivals double-counted and torn load/store pairs could observe gaps far
+// larger than any real spacing; the Swap-based update must keep every
+// observed gap within the producers' timestamp span and never lose an
+// element count. Run with -race.
+func TestOpStatsConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 5_000
+		span      = int64(producers * perProd) // max legal gap in event time
+	)
+	s := NewOpStats()
+	base := int64(1e9)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				ts := base + int64(w*perProd+i)
+				if i%10 == 9 {
+					s.RecordInBatch(ts, ts, 1)
+				} else {
+					s.RecordIn(ts)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.In(); got != producers*perProd {
+		t.Fatalf("in = %d, want %d", got, producers*perProd)
+	}
+	// Every Swap consumes exactly one predecessor: at most total-1 gaps,
+	// each bounded by the overall timestamp span. A double-counted first
+	// arrival would have produced a gap near base (~1e9).
+	if c := s.interNS.Count(); c > producers*perProd-1 {
+		t.Fatalf("interarrival observations %d exceed arrivals-1", c)
+	}
+	if v := s.InterarrivalNS(); v < 0 || v > float64(span) {
+		t.Fatalf("interarrival estimate %v outside [0, %d]", v, span)
+	}
+}
+
+func TestOpStatsBatchFirstArrivalIntraBatchGap(t *testing.T) {
+	s := NewOpStats()
+	// First ever arrival is a batch: d(v) seeds from the intra-batch mean.
+	s.RecordInBatch(100, 400, 4)
+	if v := s.InterarrivalNS(); math.Abs(v-100) > 1e-9 {
+		t.Fatalf("intra-batch seed %v, want 100", v)
+	}
+	// Next batch measures against the previous batch's last element.
+	s.RecordInBatch(500, 600, 2)
+	if c := s.interNS.Count(); c != 2 {
+		t.Fatalf("observations %d, want 2", c)
+	}
+	if s.In() != 6 {
+		t.Fatalf("in %d, want 6", s.In())
+	}
+}
+
 func TestOpStatsConcurrentReaders(t *testing.T) {
 	s := NewOpStats()
 	done := make(chan struct{})
