@@ -16,10 +16,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The batched transfer path is lock-heavy and concurrent; keep the data-race
-# detector on its packages in the gate.
+# The batched transfer path is lock-heavy and concurrent, and the ingress
+# buffer and adaptive controller are exercised from many goroutines; keep
+# the data-race detector on their packages in the gate.
 race:
-	$(GO) test -race ./internal/queue ./internal/sched
+	$(GO) test -race ./internal/queue ./internal/sched ./internal/ingest ./adapt
 
 # The capacity-model validation is a timing experiment; run it a few times so
 # a flaky pass cannot slip through.
@@ -32,7 +33,10 @@ bench:
 	$(GO) test -bench . -benchmem ./internal/queue
 	$(GO) test -bench . -benchmem ./internal/sched | $(GO) run ./cmd/benchjson > BENCH_sched.json
 	@echo wrote BENCH_sched.json
+	{ $(GO) test -bench . -benchmem ./internal/ingest; \
+	  $(GO) test -bench . -benchmem ./cmd/hmtsd; } | $(GO) run ./cmd/benchjson > BENCH_ingest.json
+	@echo wrote BENCH_ingest.json
 
 # One iteration of every benchmark: a compile-and-smoke pass for ci.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./cmd/hmtsd

@@ -24,6 +24,13 @@ type Action int
 const (
 	// None leaves the deployment alone.
 	None Action = iota
+	// ShedOn engages emergency load shedding on every external source
+	// (Engine.Shed(true)): full ingress buffers drop the newest element
+	// instead of blocking or growing.
+	ShedOn
+	// ShedOff releases the shed override, restoring each external
+	// source's configured overload policy (Engine.Shed(false)).
+	ShedOff
 	// Rebalance re-places queues from measured costs and rates
 	// (Engine.Rebalance).
 	Rebalance
@@ -37,6 +44,10 @@ func (a Action) String() string {
 	switch a {
 	case None:
 		return "none"
+	case ShedOn:
+		return "shed-on"
+	case ShedOff:
+		return "shed-off"
 	case Rebalance:
 		return "rebalance"
 	case SwitchHMTS:
@@ -66,9 +77,15 @@ type Controller struct {
 	period   time.Duration
 	cooldown time.Duration
 
-	mu     sync.Mutex
-	events []Event
-	last   time.Time
+	// stepMu serializes Step so concurrent callers (the loop plus a test
+	// or an operator console) cannot both pass the cooldown check and act.
+	stepMu sync.Mutex
+
+	mu      sync.Mutex
+	events  []Event
+	last    time.Time
+	started bool
+	closed  bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -90,8 +107,17 @@ func New(eng *hmts.Engine, period, cooldown time.Duration, policies ...Policy) *
 	}
 }
 
-// Start launches the control loop; call Stop to end it.
+// Start launches the control loop; call Stop to end it. Calling Start
+// again while the loop is live is a no-op, so a double Start cannot leak a
+// second ticker goroutine.
 func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
 	go func() {
 		defer close(c.done)
 		tick := time.NewTicker(c.period)
@@ -107,19 +133,27 @@ func (c *Controller) Start() {
 	}()
 }
 
-// Stop ends the control loop and waits for it.
+// Stop ends the control loop and waits for it. It is idempotent and
+// returns immediately when Start was never called — there is no loop
+// goroutine to wait for in that case.
 func (c *Controller) Stop() {
-	select {
-	case <-c.stop:
-	default:
+	c.mu.Lock()
+	started := c.started
+	if !c.closed {
+		c.closed = true
 		close(c.stop)
 	}
-	<-c.done
+	c.mu.Unlock()
+	if started {
+		<-c.done
+	}
 }
 
 // Step runs one evaluation immediately (exposed for deterministic tests).
 // It returns the action taken.
 func (c *Controller) Step() Action {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
 	m := c.eng.Metrics()
 	for _, p := range c.policies {
 		act := p.Evaluate(m)
@@ -131,15 +165,26 @@ func (c *Controller) Step() Action {
 			c.mu.Unlock()
 			return None
 		}
-		c.last = time.Now()
 		c.mu.Unlock()
 
 		var err error
 		switch act {
+		case ShedOn:
+			c.eng.Shed(true)
+		case ShedOff:
+			c.eng.Shed(false)
 		case Rebalance:
 			err = c.eng.Rebalance()
 		case SwitchHMTS:
 			err = c.eng.SwitchMode(hmts.ModeHMTS, "")
+		}
+		// A failed action did no re-planning, so it must not burn the
+		// cooldown and silence every policy for a full window; the error
+		// is still recorded as an event.
+		if err == nil {
+			c.mu.Lock()
+			c.last = time.Now()
+			c.mu.Unlock()
 		}
 		c.record(Event{At: time.Now(), Policy: p.Name(), Action: act, Err: err})
 		return act

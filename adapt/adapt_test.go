@@ -5,6 +5,7 @@ import (
 	"time"
 
 	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/internal/simtime"
 )
 
 // fakePolicy returns a scripted sequence of actions.
@@ -216,5 +217,184 @@ func TestControllerAppliesSwitchHMTS(t *testing.T) {
 	}
 	if ev := c.Events(); len(ev) != 1 || ev[0].Err != nil {
 		t.Fatalf("events %+v", ev)
+	}
+}
+
+func TestControllerStopWithoutStart(t *testing.T) {
+	c := New(hmts.New(), time.Hour, 0, &fakePolicy{name: "idle"})
+	done := make(chan struct{})
+	go func() {
+		c.Stop() // must not wait for a loop that never started
+		c.Stop() // and stay idempotent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop hung waiting for a loop that was never started")
+	}
+}
+
+func TestControllerDoubleStart(t *testing.T) {
+	eng, sink := runningEngine(t, 100_000)
+	c := New(eng, time.Millisecond, 0, &fakePolicy{name: "idle"})
+	c.Start()
+	c.Start() // must not spawn a second loop over the same done channel
+	eng.Wait()
+	sink.Wait()
+	c.Stop() // a duplicated loop would double-close done and panic here
+}
+
+func TestControllerCooldownNotChargedOnError(t *testing.T) {
+	// The engine is not running, so Rebalance fails; Shed always succeeds.
+	eng := hmts.New()
+	p := &fakePolicy{name: "scripted", acts: []Action{Rebalance, ShedOn, ShedOn}}
+	c := New(eng, time.Hour, time.Hour, p)
+	if got := c.Step(); got != Rebalance {
+		t.Fatalf("step 1 = %v", got)
+	}
+	// The failed Rebalance must not have burned the cooldown: the next
+	// action still goes through.
+	if got := c.Step(); got != ShedOn {
+		t.Fatalf("step 2 = %v, want ShedOn despite prior failed action", got)
+	}
+	// The successful action does charge it.
+	if got := c.Step(); got != None {
+		t.Fatalf("step 3 = %v, want None under cooldown", got)
+	}
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events %+v", evs)
+	}
+	if evs[0].Action != Rebalance || evs[0].Err == nil {
+		t.Fatalf("failed action must still be recorded with its error: %+v", evs[0])
+	}
+	if evs[1].Action != ShedOn || evs[1].Err != nil {
+		t.Fatalf("event 2: %+v", evs[1])
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	op := func(c, d float64, in uint64) hmts.OpMetrics {
+		return hmts.OpMetrics{CostNS: c, InterarrivalNS: d, In: in}
+	}
+	if u := Utilization(hmts.Metrics{}, 100); u != 0 {
+		t.Fatalf("empty metrics: %v", u)
+	}
+	// Unreliable measurements are ignored.
+	m := hmts.Metrics{Ops: []hmts.OpMetrics{op(2000, 1000, 5)}, Executors: 1}
+	if u := Utilization(m, 100); u != 0 {
+		t.Fatalf("few samples must be ignored: %v", u)
+	}
+	// One op at 2x capacity.
+	m = hmts.Metrics{Ops: []hmts.OpMetrics{op(2000, 1000, 500)}, Executors: 4}
+	if u := Utilization(m, 100); u != 2 {
+		t.Fatalf("busiest op sets the floor: %v", u)
+	}
+	// Many cheap ops on one executor: the sum matters.
+	m = hmts.Metrics{Ops: []hmts.OpMetrics{op(600, 1000, 500), op(600, 1000, 500)}, Executors: 1}
+	if u := Utilization(m, 100); u != 1.2 {
+		t.Fatalf("aggregate over one executor: %v", u)
+	}
+	// Same ops spread over plenty of executors: busiest dominates.
+	m.Executors = 4
+	if u := Utilization(m, 100); u != 0.6 {
+		t.Fatalf("spread over executors: %v", u)
+	}
+}
+
+func TestShedOnOverloadPolicy(t *testing.T) {
+	mk := func(util float64) hmts.Metrics {
+		return hmts.Metrics{
+			Executors: 1,
+			Ops:       []hmts.OpMetrics{{CostNS: util * 1000, InterarrivalNS: 1000, In: 500}},
+		}
+	}
+	p := &ShedOnOverload{Engage: 1, Release: 0.5, Persist: 2, MinSamples: 10}
+	if a := p.Evaluate(mk(2)); a != None {
+		t.Fatalf("one overloaded observation must not trigger: %v", a)
+	}
+	if a := p.Evaluate(mk(0.3)); a != None {
+		t.Fatal("dip must reset the persist counter")
+	}
+	p.Evaluate(mk(2))
+	if a := p.Evaluate(mk(2)); a != ShedOn {
+		t.Fatalf("persistent overload must engage: %v", a)
+	}
+	if !p.Engaged() {
+		t.Fatal("policy should report engaged")
+	}
+	if a := p.Evaluate(mk(2)); a != None {
+		t.Fatal("already engaged: no repeat action")
+	}
+	// Hysteresis: between Release and Engage nothing changes.
+	if a := p.Evaluate(mk(0.8)); a != None {
+		t.Fatal("above release threshold shedding must hold")
+	}
+	if a := p.Evaluate(mk(0.3)); a != None {
+		t.Fatal("one calm observation must not release")
+	}
+	p.Evaluate(mk(0.8)) // resets the under counter
+	p.Evaluate(mk(0.3))
+	if a := p.Evaluate(mk(0.3)); a != ShedOff {
+		t.Fatal("persistent calm must release")
+	}
+	if p.Engaged() {
+		t.Fatal("policy should report released")
+	}
+}
+
+// End-to-end: an External source feeding an operator that cannot keep pace
+// with the producer's event rate drives measured utilization above 1, the
+// ShedOnOverload policy fires ShedOn through the controller, and the
+// source reports the emergency override.
+func TestShedOnOverloadEndToEnd(t *testing.T) {
+	const (
+		n      = 2000
+		costNS = 20_000 // per-element work
+		gapNS  = 10_000 // event-time interarrival: 2x over capacity
+	)
+	ext := hmts.External("ext", hmts.ExternalConfig{Policy: hmts.Block, Buffer: 256})
+	eng := hmts.New()
+	sink := eng.Source("ext", ext.Spec()).
+		Map("slow", func(e hmts.Element) hmts.Element {
+			simtime.Busy(costNS)
+			return e
+		}).
+		CountSink("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+
+	for i := 0; i < n; i++ {
+		// Explicit event timestamps at twice the operator's capacity;
+		// backpressure throttles delivery but not the measured load.
+		ext.Push(hmts.Element{TS: hmts.Time((i + 1) * gapNS), Key: int64(i)})
+	}
+	ext.Close()
+	eng.Wait()
+	sink.Wait()
+	if sink.Count() != n {
+		t.Fatalf("Block policy must not lose elements: %d", sink.Count())
+	}
+
+	ctl := New(eng, time.Hour, 0, &ShedOnOverload{Persist: 2, MinSamples: 100})
+	if a := ctl.Step(); a != None {
+		t.Fatalf("first observation: %v", a)
+	}
+	if a := ctl.Step(); a != ShedOn {
+		m := eng.Metrics()
+		t.Fatalf("persistent overload should shed (util=%v): %+v",
+			Utilization(m, 100), m.Ops)
+	}
+	if !ext.Shedding() {
+		t.Fatal("source should report the shed override")
+	}
+	st := ext.Stats()
+	if !st.Shedding || st.Policy != "drop-newest" {
+		t.Fatalf("stats should surface the override: %+v", st)
+	}
+	// Releasing restores the configured policy.
+	eng.Shed(false)
+	if ext.Shedding() || ext.Stats().Policy != "block" {
+		t.Fatalf("release should restore the configured policy: %+v", ext.Stats())
 	}
 }

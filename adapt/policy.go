@@ -114,6 +114,114 @@ func ratioOK(ratio, factor float64) bool {
 	return math.Abs(math.Log(ratio)) <= math.Log(factor)
 }
 
+// Utilization estimates how loaded a deployment is from a metrics
+// snapshot: each operator with a reliable measurement (at least minIn
+// processed elements) contributes c(v)/d(v) — mean processing cost over
+// mean input interarrival, the paper's per-operator load. The estimate is
+// the larger of the busiest single operator's ratio (a partition
+// containing it is over capacity no matter how threads are assigned) and
+// the total ratio spread across the live executors. Above 1 the
+// deployment cannot keep pace with its input. Note d(v) is measured in
+// event time, so an honest producer timestamping at its generation rate
+// keeps utilization meaningful even while backpressure throttles
+// deliveries. Returns 0 when nothing is reliably measured yet.
+func Utilization(m hmts.Metrics, minIn uint64) float64 {
+	var total, busiest float64
+	for _, o := range m.Ops {
+		if o.In < minIn || o.CostNS <= 0 || o.InterarrivalNS <= 0 {
+			continue
+		}
+		u := o.CostNS / o.InterarrivalNS
+		total += u
+		if u > busiest {
+			busiest = u
+		}
+	}
+	execs := m.Executors
+	if execs < 1 {
+		execs = 1
+	}
+	if spread := total / float64(execs); spread > busiest {
+		return spread
+	}
+	return busiest
+}
+
+// ShedOnOverload engages emergency load shedding when measured utilization
+// persists above 1: external sources flip to DropNewest (Engine.Shed), so
+// the ingress edge discards what the graph provably cannot absorb instead
+// of growing queues or stalling pushers forever. It releases the override
+// with hysteresis — utilization must persist below a lower threshold — so
+// a load hovering at the boundary does not flap the policy.
+type ShedOnOverload struct {
+	// Engage is the utilization above which shedding engages (values <= 0
+	// default to 1).
+	Engage float64
+	// Release is the utilization below which shedding releases; it must
+	// be below Engage (values <= 0 or >= Engage default to 0.8·Engage).
+	Release float64
+	// Persist is how many consecutive observations the condition must
+	// hold on either side (default 3).
+	Persist int
+	// MinSamples is the per-operator processed-element floor below which
+	// a cost measurement is ignored (default 100).
+	MinSamples uint64
+
+	over, under int
+	engaged     bool
+}
+
+// Name implements Policy.
+func (*ShedOnOverload) Name() string { return "shed-on-overload" }
+
+// Engaged reports whether the policy currently holds the shed override.
+func (p *ShedOnOverload) Engaged() bool { return p.engaged }
+
+// Evaluate implements Policy.
+func (p *ShedOnOverload) Evaluate(m hmts.Metrics) Action {
+	engage := p.Engage
+	if engage <= 0 {
+		engage = 1
+	}
+	release := p.Release
+	if release <= 0 || release >= engage {
+		release = 0.8 * engage
+	}
+	persist := p.Persist
+	if persist <= 0 {
+		persist = 3
+	}
+	minIn := p.MinSamples
+	if minIn == 0 {
+		minIn = 100
+	}
+	u := Utilization(m, minIn)
+	if !p.engaged {
+		if u > engage {
+			p.over++
+			if p.over >= persist {
+				p.over = 0
+				p.engaged = true
+				return ShedOn
+			}
+		} else {
+			p.over = 0
+		}
+		return None
+	}
+	if u < release {
+		p.under++
+		if p.under >= persist {
+			p.under = 0
+			p.engaged = false
+			return ShedOff
+		}
+	} else {
+		p.under = 0
+	}
+	return None
+}
+
 // ArchitectureFit recommends moving to HMTS when the running architecture
 // mismatches the graph — the paper's central claim applied as a policy:
 // OTS with many cheap operators pays needless per-thread overhead, GTS

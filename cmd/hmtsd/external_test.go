@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pushb sends one framed batch: header line plus count little-endian
+// 24-byte records, keys taken from keys[i%len(keys)], ts = i+tsBase.
+func (c *client) pushb(name string, count int, keys []int64, tsBase int64) {
+	c.t.Helper()
+	header := []byte("PUSHB " + name + " " + strconv.Itoa(count) + "\n")
+	buf := make([]byte, len(header)+count*24)
+	copy(buf, header)
+	for i := 0; i < count; i++ {
+		rec := buf[len(header)+i*24:]
+		binary.LittleEndian.PutUint64(rec, uint64(int64(i)+tsBase))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(keys[i%len(keys)]))
+		binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(1))
+	}
+	if _, err := c.conn.Write(buf); err != nil {
+		c.t.Fatalf("pushb write: %v", err)
+	}
+}
+
+// expectOKCounts reads the "OK <accepted> <dropped>" response to a PUSHB.
+func (c *client) expectOKCounts() (accepted, dropped int) {
+	c.t.Helper()
+	for {
+		line := c.readLine()
+		f := strings.Fields(line)
+		if f[0] == "OK" && len(f) == 3 {
+			a, err1 := strconv.Atoi(f[1])
+			d, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				c.t.Fatalf("bad counts: %s", line)
+			}
+			return a, d
+		}
+		if f[0] == "ERR" {
+			c.t.Fatalf("server error: %s", line)
+		}
+	}
+}
+
+// ingestInfo extracts the "INFO   <name> accepted=..." ingest report line
+// for an external source from a METRICS response.
+func (c *client) ingestInfo(name string) map[string]string {
+	c.t.Helper()
+	c.sendLine("METRICS")
+	lines := c.expect("OK metrics")
+	inIngest := false
+	for _, l := range lines {
+		body := strings.TrimPrefix(l, "INFO ")
+		if strings.HasPrefix(body, "ingest:") {
+			inIngest = true
+			continue
+		}
+		f := strings.Fields(body)
+		if !inIngest || len(f) == 0 || f[0] != name {
+			continue
+		}
+		kv := make(map[string]string)
+		for _, tok := range f[1:] {
+			if k, v, ok := strings.Cut(tok, "="); ok {
+				kv[k] = v
+			}
+		}
+		return kv
+	}
+	c.t.Fatalf("no ingest line for %q in %q", name, lines)
+	return nil
+}
+
+func TestServerMetricsBeforeStart(t *testing.T) {
+	c := dial(t, startServer(t))
+	// Before START the engine has no deployment; METRICS must still answer.
+	c.sendLine("METRICS")
+	c.expect("OK metrics")
+	// An external source's counters are visible pre-START too.
+	c.sendLine("SOURCE ext EXTERNAL POLICY drop-newest BUFFER 16")
+	c.expect("OK source ext external policy drop-newest")
+	c.sendLine("PUSH ext 1 5 2.5")
+	kv := c.ingestInfo("ext")
+	if kv["accepted"] != "1" || kv["dropped"] != "0" || kv["policy"] != "drop-newest" {
+		t.Fatalf("ingest counters %v", kv)
+	}
+	c.sendLine("QUIT")
+	c.expect("OK bye")
+}
+
+func TestServerPushErrors(t *testing.T) {
+	c := dial(t, startServer(t))
+	c.sendLine("PUSH nosuch 1 2 3")
+	if l := c.readLine(); !strings.HasPrefix(l, "ERR") {
+		t.Fatalf("unknown source: %s", l)
+	}
+	c.sendLine("CLOSE nosuch")
+	if l := c.readLine(); !strings.HasPrefix(l, "ERR") {
+		t.Fatalf("CLOSE unknown source: %s", l)
+	}
+	c.sendLine("SOURCE ext EXTERNAL POLICY bogus")
+	if l := c.readLine(); !strings.HasPrefix(l, "ERR") {
+		t.Fatalf("bad policy: %s", l)
+	}
+	c.sendLine("SOURCE ext EXTERNAL BUFFER 0")
+	if l := c.readLine(); !strings.HasPrefix(l, "ERR") {
+		t.Fatalf("bad buffer: %s", l)
+	}
+	c.sendLine("SOURCE ext EXTERNAL")
+	c.expect("OK source ext")
+	c.sendLine("PUSH ext 1 2")
+	if l := c.readLine(); !strings.HasPrefix(l, "ERR") {
+		t.Fatalf("bad arity: %s", l)
+	}
+	c.sendLine("PUSH ext 1 2 x")
+	if l := c.readLine(); !strings.HasPrefix(l, "ERR") {
+		t.Fatalf("bad value: %s", l)
+	}
+	// A PUSHB frame for an unknown source is consumed: the session must
+	// stay in sync and usable.
+	c.pushb("nosuch", 3, []int64{1}, 1)
+	if l := c.readLine(); !strings.HasPrefix(l, "ERR no external source") {
+		t.Fatalf("PUSHB unknown source: %s", l)
+	}
+	c.sendLine("METRICS")
+	c.expect("OK metrics")
+	c.sendLine("QUIT")
+	c.expect("OK bye")
+}
+
+func TestServerExternalEndToEnd(t *testing.T) {
+	c := dial(t, startServer(t))
+	c.sendLine("SOURCE ext EXTERNAL POLICY block BUFFER 1024")
+	c.expect("OK source ext")
+	c.sendLine("QUERY SELECT * FROM ext WHERE key < 5")
+	c.expect("OK 0")
+	c.sendLine("START gts")
+	c.expect("OK running")
+	for i := 0; i < 1000; i++ {
+		c.sendLine("PUSH ext " + strconv.Itoa(i+1) + " " + strconv.Itoa(i%10) + " 1.5")
+	}
+	c.sendLine("CLOSE ext")
+	c.sendLine("WAIT")
+	c.waitDone("0")
+	// Keys cycle 0..9, predicate key < 5: exactly half pass.
+	if got := c.results["0"]; got != 500 {
+		t.Fatalf("got %d results, want 500", got)
+	}
+	kv := c.ingestInfo("ext")
+	if kv["accepted"] != "1000" || kv["dropped"] != "0" || kv["closed"] != "true" {
+		t.Fatalf("ingest counters %v", kv)
+	}
+}
+
+// TestServerOverloadDropNewest demonstrates load shedding end to end: a
+// framed batch arrives far faster than pure-di consumption of an expensive
+// windowed aggregate can drain it, the bounded ingress buffer fills, the
+// drop-newest policy sheds the excess, and the daemon stays responsive
+// with the backlog capped at the configured bound.
+func TestServerOverloadDropNewest(t *testing.T) {
+	c := dial(t, startServer(t))
+	c.sendLine("SOURCE ext EXTERNAL POLICY drop-newest BUFFER 256")
+	c.expect("OK source ext")
+	// 1000 groups in a long window make every element scan the whole group
+	// table; HAVING suppresses the result flood while keeping the work.
+	c.sendLine("QUERY SELECT count(*) FROM ext GROUP BY KEY WINDOW 600s HAVING val > 1000000000")
+	c.expect("OK 0")
+	c.sendLine("START pure-di")
+	c.expect("OK running")
+
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	const n = 65536
+	c.pushb("ext", n, keys, 1)
+	accepted, dropped := c.expectOKCounts()
+	if accepted+dropped != n {
+		t.Fatalf("accepted %d + dropped %d != %d", accepted, dropped, n)
+	}
+	if dropped == 0 {
+		t.Fatal("pushing 64k elements at wire speed into a 256-slot buffer over a slow query must shed")
+	}
+	// The daemon is still responsive mid-overload, and the backlog is
+	// bounded by the buffer, not by what was pushed.
+	kv := c.ingestInfo("ext")
+	bufLen, err1 := strconv.Atoi(kv["len"])
+	maxLen, err2 := strconv.Atoi(kv["max"])
+	if err1 != nil || err2 != nil || bufLen > 256 || maxLen > 256 {
+		t.Fatalf("backlog must stay within the bound: %v", kv)
+	}
+	if kv["dropped"] == "0" {
+		t.Fatalf("drop counter must surface: %v", kv)
+	}
+	c.sendLine("CLOSE ext")
+	c.sendLine("WAIT")
+	c.waitDone("0")
+	if c.results["0"] != 0 {
+		t.Fatalf("HAVING should have suppressed all %d results", c.results["0"])
+	}
+}
+
+// TestServerBlockBackpressure is the overload counterpart: with POLICY
+// block and bounded decoupling queues, a producer far above capacity is
+// throttled instead of shed — every element arrives, none drop.
+func TestServerBlockBackpressure(t *testing.T) {
+	c := dial(t, startServer(t))
+	c.sendLine("SOURCE ext EXTERNAL POLICY block BUFFER 64")
+	c.expect("OK source ext")
+	c.sendLine("QUERY SELECT count(*) FROM ext GROUP BY KEY WINDOW 600s HAVING val > 1000000000")
+	c.expect("OK 0")
+	c.sendLine("START gts fifo BOUND 64")
+	c.expect("OK running")
+	keys := make([]int64, 100)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	const frames, per = 8, 1000
+	total := 0
+	for f := 0; f < frames; f++ {
+		c.pushb("ext", per, keys, int64(f*per)+1)
+		accepted, dropped := c.expectOKCounts()
+		if dropped != 0 {
+			t.Fatalf("frame %d: backpressure must not drop (dropped %d)", f, dropped)
+		}
+		total += accepted
+	}
+	if total != frames*per {
+		t.Fatalf("accepted %d, want %d", total, frames*per)
+	}
+	c.sendLine("CLOSE ext")
+	c.sendLine("WAIT")
+	c.waitDone("0")
+	kv := c.ingestInfo("ext")
+	if kv["accepted"] != strconv.Itoa(frames*per) || kv["dropped"] != "0" {
+		t.Fatalf("ingest counters %v", kv)
+	}
+}
+
+func TestServerLineTooLong(t *testing.T) {
+	c := dial(t, startServer(t))
+	// Overrun the 1MB line bound; the session must end with a final ERR
+	// instead of vanishing silently.
+	junk := strings.Repeat("a", 2<<20)
+	if _, err := c.conn.Write([]byte(junk + "\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("want a final ERR line, got read error %v", err)
+	}
+	if !strings.HasPrefix(line, "ERR session aborted") {
+		t.Fatalf("want ERR session aborted, got %q", line)
+	}
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("session must be closed after the abort")
+	}
+}
+
+// A command line well beyond the old 64KB scanner limit must now work.
+func TestServerLongQueryLine(t *testing.T) {
+	c := dial(t, startServer(t))
+	c.sendLine("SOURCE s COUNT 100 RATE 0 KEYS 0 9 STAMPED")
+	c.expect("OK source")
+	c.sendLine("QUERY SELECT * FROM s WHERE key < 5" + strings.Repeat(" ", 100<<10))
+	c.expect("OK 0")
+	c.sendLine("START gts")
+	c.expect("OK running")
+	c.sendLine("WAIT")
+	c.waitDone("0")
+	if c.results["0"] == 0 {
+		t.Fatal("no results after a long command line")
+	}
+}

@@ -3,19 +3,35 @@
 // graph, start the engine in any scheduling mode, and receive results as
 // they are produced.
 //
-// Protocol (one command per line; responses are OK/ERR lines, results are
-// pushed asynchronously):
+// Protocol (one command per line, at most 1MB; responses are OK/ERR lines,
+// results are pushed asynchronously):
 //
 //	SOURCE <name> COUNT <n> RATE <hz> [KEYS <lo> <hi>] [SEED <s>] [STAMPED]
+//	SOURCE <name> EXTERNAL [POLICY block|drop-newest|drop-oldest] [BUFFER <n>] [RATE <hz>]
 //	QUERY <select-statement>            -> OK <id>
-//	START [gts|ots|di|pure-di|hmts] [fifo|chain|roundrobin|maxqueue]
+//	START [gts|ots|di|pure-di|hmts] [fifo|chain|roundrobin|maxqueue] [BOUND <n>]
 //	MODE <mode> [strategy]              (switch while running)
 //	REBALANCE                           (re-place queues from live stats)
-//	METRICS
+//	PUSH <name> <ts> <key> <val>        (feed an EXTERNAL source; no response
+//	                                    on success so pushers can pipeline,
+//	                                    ERR on a malformed command; a full
+//	                                    buffer blocks or drops per POLICY)
+//	PUSHB <name> <count>                (framed batch push: the line is
+//	                                    followed by count 24-byte records,
+//	                                    little-endian ts int64, key int64,
+//	                                    val float64 -> OK <accepted> <dropped>)
+//	CLOSE <name>                        (end an EXTERNAL source's stream)
+//	METRICS                             (INFO lines incl. ingress counters)
 //	WAIT                                (blocks until all queries finish)
 //	QUIT
 //
 // Results: RESULT <id> <ts> <key> <val>, then DONE <id>.
+//
+// EXTERNAL sources are push-driven: the daemon only delivers what PUSH /
+// PUSHB feed in. A zero <ts> is stamped with the arrival time. BOUND caps
+// the decoupling queues so ingress backpressure reaches the client (via
+// POLICY block and TCP flow control) instead of growing queues without
+// limit.
 //
 // Example session:
 //
@@ -23,13 +39,26 @@
 //	QUERY SELECT count(*) FROM s GROUP BY KEY WINDOW 1s
 //	START hmts
 //	WAIT
+//
+// Push-driven ingestion:
+//
+//	SOURCE ext EXTERNAL POLICY drop-newest BUFFER 4096
+//	QUERY SELECT * FROM ext WHERE val > 10
+//	START gts fifo BOUND 1024
+//	PUSH ext 0 42 11.5
+//	CLOSE ext
+//	WAIT
 package main
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux; served only when -pprof is set
@@ -71,25 +100,34 @@ func main() {
 
 // session is one client connection with its own engine.
 type session struct {
-	conn     net.Conn
-	mu       sync.Mutex // guards w
-	w        *bufio.Writer
-	eng      *hmts.Engine
-	sources  map[string]*hmts.Stream
-	started  bool
-	queries  int
-	flushReq chan struct{}
-	closed   chan struct{}
+	conn      net.Conn
+	r         *bufio.Reader
+	mu        sync.Mutex // guards w
+	w         *bufio.Writer
+	eng       *hmts.Engine
+	sources   map[string]*hmts.Stream
+	externals map[string]*hmts.ExternalSource
+	started   bool
+	queries   int
+	flushReq  chan struct{}
+	closed    chan struct{}
+
+	// Reusable PUSHB scratch, so a sustained batch stream does not allocate
+	// per frame.
+	frameBuf []byte
+	frameEls []hmts.Element
 }
 
 func newSession(conn net.Conn) *session {
 	return &session{
-		conn:     conn,
-		w:        bufio.NewWriterSize(conn, 64*1024),
-		eng:      hmts.New(),
-		sources:  make(map[string]*hmts.Stream),
-		flushReq: make(chan struct{}, 1),
-		closed:   make(chan struct{}),
+		conn:      conn,
+		r:         bufio.NewReaderSize(conn, 64*1024),
+		w:         bufio.NewWriterSize(conn, 64*1024),
+		eng:       hmts.New(),
+		sources:   make(map[string]*hmts.Stream),
+		externals: make(map[string]*hmts.ExternalSource),
+		flushReq:  make(chan struct{}, 1),
+		closed:    make(chan struct{}),
 	}
 }
 
@@ -130,6 +168,36 @@ func (s *session) flusher() {
 	}
 }
 
+// maxLine bounds one protocol line. Generously above any legitimate QUERY,
+// yet it keeps a garbage (or binary-desynced) client from growing an
+// unbounded line buffer.
+const maxLine = 1 << 20
+
+var errLineTooLong = fmt.Errorf("line exceeds %d bytes", maxLine)
+
+// readLine reads one newline-terminated line of at most maxLine bytes from
+// r, without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		if len(buf)+len(chunk) > maxLine {
+			return "", errLineTooLong
+		}
+		if err == nil {
+			if buf == nil {
+				return strings.TrimRight(string(chunk), "\r\n"), nil
+			}
+			buf = append(buf, chunk...)
+			return strings.TrimRight(string(buf), "\r\n"), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return "", err
+		}
+		buf = append(buf, chunk...)
+	}
+}
+
 func (s *session) serve() {
 	go s.flusher()
 	defer func() {
@@ -137,13 +205,26 @@ func (s *session) serve() {
 		if s.started {
 			s.eng.Stop()
 		}
+		for _, ext := range s.externals {
+			ext.Close()
+		}
 		s.conn.Close()
 	}()
-	sc := bufio.NewScanner(s.conn)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
 	s.send("OK hmtsd ready")
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for {
+		line, err := readLine(s.r)
+		if err != nil {
+			// A client vanishing mid-session is normal; anything else —
+			// an oversized line, a truncated frame — must not end the
+			// session silently: tell the client (the ERR may still be
+			// deliverable) and the operator log why.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.send("ERR session aborted: %v", err)
+				log.Printf("hmtsd: session %s aborted: %v", s.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
@@ -165,6 +246,19 @@ func (s *session) serve() {
 			s.cmdRebalance()
 		case "METRICS":
 			s.cmdMetrics()
+		case "PUSH":
+			s.cmdPush(rest)
+		case "PUSHB":
+			if err := s.cmdPushBatch(rest); err != nil {
+				// The frame body could not be read: the byte stream is no
+				// longer in sync with the line protocol, so the session
+				// cannot continue.
+				s.send("ERR session aborted: %v", err)
+				log.Printf("hmtsd: session %s aborted: %v", s.conn.RemoteAddr(), err)
+				return
+			}
+		case "CLOSE":
+			s.cmdClose(rest)
 		case "WAIT":
 			if !s.started {
 				s.send("ERR not started")
@@ -192,6 +286,10 @@ func (s *session) cmdSource(rest string) {
 	name := strings.ToLower(f[0])
 	if _, dup := s.sources[name]; dup {
 		s.send("ERR source %q already exists", name)
+		return
+	}
+	if len(f) > 1 && strings.ToUpper(f[1]) == "EXTERNAL" {
+		s.cmdSourceExternal(name, f[2:])
 		return
 	}
 	var (
@@ -251,6 +349,132 @@ func arg(f []string, i int) string {
 	return f[i]
 }
 
+// cmdSourceExternal parses the option tail of:
+// SOURCE <name> EXTERNAL [POLICY p] [BUFFER n] [RATE hz]
+func (s *session) cmdSourceExternal(name string, f []string) {
+	cfg := hmts.ExternalConfig{}
+	var err error
+	for i := 0; i < len(f); i++ {
+		switch strings.ToUpper(f[i]) {
+		case "POLICY":
+			i++
+			cfg.Policy, err = hmts.ParseOverloadPolicy(arg(f, i))
+		case "BUFFER":
+			i++
+			var n int
+			n, err = strconv.Atoi(arg(f, i))
+			if err == nil && n < 1 {
+				err = fmt.Errorf("BUFFER must be >= 1")
+			}
+			cfg.Buffer = n
+		case "RATE":
+			i++
+			cfg.RateHint, err = strconv.ParseFloat(arg(f, i), 64)
+		default:
+			err = fmt.Errorf("unknown option %q", f[i])
+		}
+		if err != nil {
+			s.send("ERR %v", err)
+			return
+		}
+	}
+	ext := hmts.External(name, cfg)
+	s.externals[name] = ext
+	s.sources[name] = s.eng.Source(name, ext.Spec())
+	s.send("OK source %s external policy %s", name, ext.Stats().Policy)
+}
+
+// cmdPush parses: <name> <ts> <key> <val>. It is deliberately silent on
+// success — pushers pipeline thousands of lines without reading — and the
+// overload policy decides the fate of an element hitting a full buffer
+// (counted in METRICS, never a protocol error).
+func (s *session) cmdPush(rest string) {
+	f := strings.Fields(rest)
+	if len(f) != 4 {
+		s.send("ERR PUSH needs: <source> <ts> <key> <val>")
+		return
+	}
+	ext, ok := s.externals[strings.ToLower(f[0])]
+	if !ok {
+		s.send("ERR no external source %q", f[0])
+		return
+	}
+	ts, err1 := strconv.ParseInt(f[1], 10, 64)
+	key, err2 := strconv.ParseInt(f[2], 10, 64)
+	val, err3 := strconv.ParseFloat(f[3], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		s.send("ERR PUSH: malformed element %q", rest)
+		return
+	}
+	ext.Push(hmts.Element{TS: hmts.Time(ts), Key: key, Val: val})
+}
+
+// frameRecordSize is the wire size of one PUSHB record: ts int64, key
+// int64, val float64, all little-endian.
+const frameRecordSize = 24
+
+// maxFrameCount bounds one PUSHB frame (<= 24MB of payload).
+const maxFrameCount = 1 << 20
+
+// cmdPushBatch handles PUSHB <name> <count> plus its binary body. A
+// non-nil error means the connection byte stream is desynced and the
+// session must end; protocol-level problems with an intact stream (unknown
+// source, full buffer) are reported in-band instead.
+func (s *session) cmdPushBatch(rest string) error {
+	f := strings.Fields(rest)
+	if len(f) != 2 {
+		return fmt.Errorf("PUSHB needs: <source> <count>")
+	}
+	count, err := strconv.Atoi(f[1])
+	if err != nil || count < 0 || count > maxFrameCount {
+		return fmt.Errorf("PUSHB: bad count %q", f[1])
+	}
+	need := count * frameRecordSize
+	if cap(s.frameBuf) < need {
+		s.frameBuf = make([]byte, need)
+	}
+	buf := s.frameBuf[:need]
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return fmt.Errorf("PUSHB: short frame: %v", err)
+	}
+	ext, ok := s.externals[strings.ToLower(f[0])]
+	if !ok {
+		// The frame was consumed, so the stream stays in sync.
+		s.send("ERR no external source %q", f[0])
+		return nil
+	}
+	if cap(s.frameEls) < count {
+		s.frameEls = make([]hmts.Element, count)
+	}
+	els := s.frameEls[:count]
+	for i := range els {
+		rec := buf[i*frameRecordSize:]
+		els[i] = hmts.Element{
+			TS:  hmts.Time(binary.LittleEndian.Uint64(rec)),
+			Key: int64(binary.LittleEndian.Uint64(rec[8:])),
+			Val: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
+		}
+	}
+	accepted := ext.PushBatch(els)
+	s.send("OK %d %d", accepted, count-accepted)
+	return nil
+}
+
+func (s *session) cmdClose(rest string) {
+	f := strings.Fields(rest)
+	if len(f) != 1 {
+		s.send("ERR CLOSE needs a source name")
+		return
+	}
+	ext, ok := s.externals[strings.ToLower(f[0])]
+	if !ok {
+		s.send("ERR no external source %q", f[0])
+		return
+	}
+	ext.Close()
+	s.send("OK closed %s", f[0])
+}
+
 func (s *session) cmdQuery(rest string) {
 	if s.started {
 		s.send("ERR engine already started")
@@ -281,12 +505,28 @@ func (s *session) cmdStart(rest string) {
 		s.send("ERR no queries registered")
 		return
 	}
-	mode, strategy, err := parseMode(rest)
+	// Pull out an optional BOUND <n> pair before mode/strategy parsing.
+	bound := 0
+	f := strings.Fields(rest)
+	for i := 0; i < len(f); i++ {
+		if strings.ToUpper(f[i]) != "BOUND" {
+			continue
+		}
+		n, err := strconv.Atoi(arg(f, i+1))
+		if err != nil || n < 1 {
+			s.send("ERR BOUND needs a positive queue bound")
+			return
+		}
+		bound = n
+		f = append(f[:i], f[i+2:]...)
+		break
+	}
+	mode, strategy, err := parseMode(strings.Join(f, " "))
 	if err != nil {
 		s.send("ERR %v", err)
 		return
 	}
-	if err := s.eng.Run(hmts.RunConfig{Mode: mode, Strategy: strategy}); err != nil {
+	if err := s.eng.Run(hmts.RunConfig{Mode: mode, Strategy: strategy, QueueBound: bound}); err != nil {
 		s.send("ERR %v", err)
 		return
 	}

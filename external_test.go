@@ -1,0 +1,154 @@
+package hmts_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// externalEngine deploys one External source feeding a Collect sink and
+// returns both, with the engine already running in GTS.
+func externalEngine(t *testing.T, cfg hmts.ExternalConfig) (*hmts.Engine, *hmts.ExternalSource, *hmts.Collector) {
+	t.Helper()
+	ext := hmts.External("ext", cfg)
+	eng := hmts.New()
+	sink := eng.Source("ext", ext.Spec()).Collect("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	return eng, ext, sink
+}
+
+func TestExternalDeliversAll(t *testing.T) {
+	eng, ext, sink := externalEngine(t, hmts.ExternalConfig{Buffer: 64})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if !ext.Push(hmts.Element{TS: hmts.Time(i + 1), Key: int64(i)}) {
+			t.Fatalf("Block push %d rejected", i)
+		}
+	}
+	ext.Close()
+	eng.Wait()
+	sink.Wait()
+	if sink.Len() != n {
+		t.Fatalf("delivered %d/%d", sink.Len(), n)
+	}
+	st := ext.Stats()
+	if st.Accepted != n || st.Dropped != 0 || !st.Closed {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestExternalDropPolicies(t *testing.T) {
+	// Without a running engine nothing drains, so the buffer's policy
+	// decides exactly which elements survive.
+	ext := hmts.External("ext", hmts.ExternalConfig{Policy: hmts.DropNewest, Buffer: 4})
+	eng := hmts.New()
+	sink := eng.Source("ext", ext.Spec()).Collect("out")
+	for i := 0; i < 6; i++ {
+		ext.Push(hmts.Element{TS: hmts.Time(i + 1), Key: int64(i)})
+	}
+	st := ext.Stats()
+	if st.Accepted != 4 || st.Dropped != 2 || st.Len != 4 {
+		t.Fatalf("drop-newest stats %+v", st)
+	}
+	// Switch policy live: the next full-buffer push now evicts the oldest.
+	ext.SetPolicy(hmts.DropOldest)
+	ext.Push(hmts.Element{TS: 100, Key: 100})
+	ext.Close()
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	eng.Wait()
+	sink.Wait()
+	els := sink.Elements()
+	if len(els) != 4 {
+		t.Fatalf("got %d elements", len(els))
+	}
+	// Oldest survivors 1,2,3 plus the evicting newcomer 100 (key 0 evicted).
+	if els[0].Key != 1 || els[3].Key != 100 {
+		t.Fatalf("wrong survivors: %+v", els)
+	}
+}
+
+func TestExternalBlockBackpressure(t *testing.T) {
+	ext := hmts.External("ext", hmts.ExternalConfig{Policy: hmts.Block, Buffer: 4})
+	eng := hmts.New()
+	sink := eng.Source("ext", ext.Spec()).Collect("out")
+	for i := 0; i < 4; i++ {
+		ext.Push(hmts.Element{TS: 1, Key: int64(i)})
+	}
+	blocked := make(chan bool)
+	go func() { blocked <- ext.Push(hmts.Element{TS: 1, Key: 4}) }()
+	select {
+	case <-blocked:
+		t.Fatal("push into a full Block buffer must wait for the engine")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Starting the engine drains the buffer and releases the pusher.
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	select {
+	case ok := <-blocked:
+		if !ok {
+			t.Fatal("released push must be admitted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine drain must release the blocked pusher")
+	}
+	ext.Close()
+	eng.Wait()
+	sink.Wait()
+	if sink.Len() != 5 {
+		t.Fatalf("delivered %d", sink.Len())
+	}
+	if st := ext.Stats(); st.Dropped != 0 {
+		t.Fatalf("backpressure must not drop: %+v", st)
+	}
+}
+
+func TestExternalPushBatch(t *testing.T) {
+	eng, ext, sink := externalEngine(t, hmts.ExternalConfig{Buffer: 128, Batch: 64})
+	const n = 10_000
+	batch := make([]hmts.Element, 100)
+	pushed := 0
+	for pushed < n {
+		for i := range batch {
+			batch[i] = hmts.Element{TS: hmts.Time(pushed + i + 1), Key: int64(pushed + i)}
+		}
+		if got := ext.PushBatch(batch); got != len(batch) {
+			t.Fatalf("batch admitted %d", got)
+		}
+		pushed += len(batch)
+	}
+	ext.Close()
+	eng.Wait()
+	sink.Wait()
+	if sink.Len() != n {
+		t.Fatalf("delivered %d/%d", sink.Len(), n)
+	}
+}
+
+func TestEngineShedAndMetrics(t *testing.T) {
+	eng, ext, sink := externalEngine(t, hmts.ExternalConfig{Buffer: 32})
+	eng.Shed(true)
+	if !ext.Shedding() {
+		t.Fatal("Engine.Shed must reach the external source")
+	}
+	ext.Push(hmts.Element{TS: 1, Key: 1})
+	m := eng.Metrics()
+	if len(m.Ingest) != 1 {
+		t.Fatalf("ingest metrics missing: %+v", m.Ingest)
+	}
+	in := m.Ingest[0]
+	if in.Name != "ext" || !in.Shedding || in.Policy != "drop-newest" {
+		t.Fatalf("ingest metrics %+v", in)
+	}
+	if !strings.Contains(m.String(), "ingest:") {
+		t.Fatal("report must include the ingest section")
+	}
+	eng.Shed(false)
+	if ext.Shedding() || ext.Stats().Policy != "block" {
+		t.Fatal("release must restore the configured policy")
+	}
+	ext.Close()
+	eng.Wait()
+	sink.Wait()
+}

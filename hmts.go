@@ -201,6 +201,22 @@ func (e *Engine) Rebalance() error {
 	return e.d.Reconfigure(sched.Plan{Cut: cut}, "")
 }
 
+// Shed engages (true) or releases (false) emergency load shedding: every
+// external source (see External) temporarily switches its overload policy
+// to DropNewest, bounding ingress memory and keeping the engine responsive
+// while demand exceeds capacity; releasing restores each source's
+// configured policy. Unlike SwitchMode/Rebalance it never pauses the
+// world — it only flips per-source policy flags — so the adaptive
+// controller can engage it cheaply (adapt.ShedOnOverload). Sources other
+// than external ones are unaffected. Safe before and during a run.
+func (e *Engine) Shed(on bool) {
+	for _, n := range e.g.Sources() {
+		if sh, ok := n.Src.(interface{ Shed(bool) }); ok {
+			sh.Shed(on)
+		}
+	}
+}
+
 // Deployment exposes the live deployment for advanced inspection (queues,
 // executors, VO structure); nil before Run.
 func (e *Engine) Deployment() *sched.Deployment { return e.d }

@@ -1,0 +1,66 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/dsms/hmts/internal/stream"
+)
+
+// consume drains b until it closes, discarding elements.
+func consume(b *Buffer, done chan<- struct{}) {
+	scratch := make([]stream.Element, 256)
+	for {
+		if _, open := b.PopWait(scratch, nil); !open {
+			close(done)
+			return
+		}
+	}
+}
+
+func BenchmarkBufferPush(bm *testing.B) {
+	b := NewBuffer(4096, Block)
+	done := make(chan struct{})
+	go consume(b, done)
+	e := stream.Element{TS: 1}
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		b.Push(e)
+	}
+	bm.StopTimer()
+	b.Close()
+	<-done
+}
+
+func BenchmarkBufferPushBatch(bm *testing.B) {
+	const batch = 256
+	b := NewBuffer(4096, Block)
+	done := make(chan struct{})
+	go consume(b, done)
+	es := make([]stream.Element, batch)
+	for i := range es {
+		es[i] = stream.Element{TS: 1}
+	}
+	bm.ResetTimer()
+	for n := 0; n < bm.N; n += batch {
+		b.PushBatch(es)
+	}
+	bm.StopTimer()
+	b.Close()
+	<-done
+}
+
+func BenchmarkBufferPushParallel(bm *testing.B) {
+	b := NewBuffer(4096, Block)
+	done := make(chan struct{})
+	go consume(b, done)
+	bm.ResetTimer()
+	bm.RunParallel(func(pb *testing.PB) {
+		e := stream.Element{TS: 1}
+		for pb.Next() {
+			b.Push(e)
+		}
+	})
+	bm.StopTimer()
+	b.Close()
+	<-done
+}

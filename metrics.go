@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/dsms/hmts/internal/graph"
+	"github.com/dsms/hmts/internal/ingest"
 )
 
 // OpMetrics is a snapshot of one operator's runtime statistics.
@@ -28,12 +29,42 @@ type QueueMetrics struct {
 	Closed   bool
 }
 
+// IngestMetrics is a snapshot of one external source's ingress buffer.
+type IngestMetrics struct {
+	Name     string
+	Accepted uint64 // elements admitted into the ingress buffer
+	Dropped  uint64 // elements rejected or evicted by the overload policy
+	Len      int    // current ingress backlog
+	Cap      int    // ingress buffer bound
+	MaxLen   int    // backlog high-water mark
+	LagNS    int64  // wall-clock age of the oldest buffered element
+	Policy   string // overload policy currently in effect
+	Shedding bool   // emergency DropNewest override engaged
+	Closed   bool   // producer side has signaled end of stream
+}
+
+func ingestMetricsFrom(name string, st ingest.Stats) IngestMetrics {
+	return IngestMetrics{
+		Name:     name,
+		Accepted: st.Accepted,
+		Dropped:  st.Dropped,
+		Len:      st.Len,
+		Cap:      st.Cap,
+		MaxLen:   st.MaxLen,
+		LagNS:    st.LagNS,
+		Policy:   st.Policy.String(),
+		Shedding: st.Shedding,
+		Closed:   st.Closed,
+	}
+}
+
 // Metrics is an engine-wide snapshot.
 type Metrics struct {
 	Mode      Mode // current scheduling mode
 	Executors int  // live partition executors
 	Ops       []OpMetrics
 	Queues    []QueueMetrics
+	Ingest    []IngestMetrics // external sources' ingress buffers
 	VOs       [][]int
 }
 
@@ -58,6 +89,12 @@ func (e *Engine) Metrics() Metrics {
 		})
 	}
 	sort.Slice(m.Ops, func(i, j int) bool { return m.Ops[i].Name < m.Ops[j].Name })
+	for _, n := range e.g.Sources() {
+		if is, ok := n.Src.(interface{ IngestStats() ingest.Stats }); ok {
+			m.Ingest = append(m.Ingest, ingestMetricsFrom(n.Name, is.IngestStats()))
+		}
+	}
+	sort.Slice(m.Ingest, func(i, j int) bool { return m.Ingest[i].Name < m.Ingest[j].Name })
 	if e.d != nil {
 		for _, q := range e.d.Queues() {
 			m.Queues = append(m.Queues, QueueMetrics{
@@ -86,6 +123,13 @@ func (m Metrics) String() string {
 	for _, q := range m.Queues {
 		fmt.Fprintf(&b, "  %-28s len=%-8d max=%-8d enq=%-10d deq=%-10d closed=%v\n",
 			q.Name, q.Len, q.MaxLen, q.Enqueued, q.Dequeued, q.Closed)
+	}
+	if len(m.Ingest) > 0 {
+		b.WriteString("ingest:\n")
+		for _, in := range m.Ingest {
+			fmt.Fprintf(&b, "  %-16s accepted=%-10d dropped=%-10d len=%-6d cap=%-6d max=%-6d lag=%-10d policy=%s shed=%v closed=%v\n",
+				in.Name, in.Accepted, in.Dropped, in.Len, in.Cap, in.MaxLen, in.LagNS, in.Policy, in.Shedding, in.Closed)
+		}
 	}
 	if len(m.VOs) > 0 {
 		fmt.Fprintf(&b, "virtual operators: %v\n", m.VOs)
