@@ -18,9 +18,11 @@ test:
 
 # The batched transfer path is lock-heavy and concurrent, and the ingress
 # buffer and adaptive controller are exercised from many goroutines; keep
-# the data-race detector on their packages in the gate.
+# the data-race detector on their packages in the gate. internal/op is
+# included for the batch/scalar equivalence harness, which exercises the
+# vectorized operator paths end to end.
 race:
-	$(GO) test -race ./internal/queue ./internal/sched ./internal/ingest ./adapt
+	$(GO) test -race ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./adapt
 
 # The capacity-model validation is a timing experiment; run it a few times so
 # a flaky pass cannot slip through.
@@ -36,7 +38,9 @@ bench:
 	{ $(GO) test -bench . -benchmem ./internal/ingest; \
 	  $(GO) test -bench . -benchmem ./cmd/hmtsd; } | $(GO) run ./cmd/benchjson > BENCH_ingest.json
 	@echo wrote BENCH_ingest.json
+	$(GO) test -bench . -benchmem ./internal/op | $(GO) run ./cmd/benchjson > BENCH_ops.json
+	@echo wrote BENCH_ops.json
 
 # One iteration of every benchmark: a compile-and-smoke pass for ci.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./cmd/hmtsd
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./cmd/hmtsd

@@ -37,13 +37,17 @@ func (k AggKind) String() string {
 
 // aggState is the incremental state of one group's aggregate.
 type aggState struct {
+	key   int64
 	win   fifo
 	count int64
 	sum   float64
 	// deque holds a monotonic sequence of candidate values for min/max;
 	// front is the current extremum. Standard sliding-window-extremum
 	// structure: amortized O(1) per element.
-	deque []float64
+	deque f64deque
+	// hpos is the group's index in the expiry heap, -1 while its window is
+	// empty (empty groups are not heap members).
+	hpos int
 }
 
 // WindowAgg computes a sliding-window aggregate, optionally grouped, and
@@ -60,6 +64,11 @@ type WindowAgg struct {
 	rows   int   // count window size; 0 for time windows
 	group  func(stream.Element) int64
 	groups map[int64]*aggState
+	// expq is a min-heap of the non-empty groups on their oldest element's
+	// timestamp. Time-window expiry consults only the heap top, so an
+	// arrival costs O(1) when nothing is due and O(log G) amortized per
+	// expired element — not a scan of every group per element.
+	expq []*aggState
 }
 
 // NewWindowAgg returns a windowed aggregate of the given kind over a time
@@ -107,21 +116,85 @@ func (a *WindowAgg) WindowLen() int {
 	return n
 }
 
+// heapUp restores the heap property from i toward the root.
+func (a *WindowAgg) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if a.expq[p].win.front().TS <= a.expq[i].win.front().TS {
+			return
+		}
+		a.heapSwap(i, p)
+		i = p
+	}
+}
+
+// heapDown restores the heap property from i toward the leaves.
+func (a *WindowAgg) heapDown(i int) {
+	n := len(a.expq)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && a.expq[l].win.front().TS < a.expq[least].win.front().TS {
+			least = l
+		}
+		if r < n && a.expq[r].win.front().TS < a.expq[least].win.front().TS {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		a.heapSwap(i, least)
+		i = least
+	}
+}
+
+func (a *WindowAgg) heapSwap(i, j int) {
+	a.expq[i], a.expq[j] = a.expq[j], a.expq[i]
+	a.expq[i].hpos = i
+	a.expq[j].hpos = j
+}
+
+// heapPush enters a newly non-empty group into the expiry heap.
+func (a *WindowAgg) heapPush(g *aggState) {
+	g.hpos = len(a.expq)
+	a.expq = append(a.expq, g)
+	a.heapUp(g.hpos)
+}
+
+// heapRemove takes a now-empty group out of the expiry heap.
+func (a *WindowAgg) heapRemove(g *aggState) {
+	i := g.hpos
+	last := len(a.expq) - 1
+	a.expq[i] = a.expq[last]
+	a.expq[i].hpos = i
+	a.expq[last] = nil // release the pointer for GC
+	a.expq = a.expq[:last]
+	if i < last {
+		a.heapDown(i)
+		a.heapUp(i)
+	}
+	g.hpos = -1
+}
+
 func (a *WindowAgg) add(g *aggState, e stream.Element) {
+	wasEmpty := g.win.empty()
 	g.win.push(e)
 	g.count++
 	g.sum += e.Val
 	switch a.kind {
 	case AggMin:
-		for len(g.deque) > 0 && g.deque[len(g.deque)-1] > e.Val {
-			g.deque = g.deque[:len(g.deque)-1]
+		for !g.deque.empty() && g.deque.back() > e.Val {
+			g.deque.popBack()
 		}
-		g.deque = append(g.deque, e.Val)
+		g.deque.pushBack(e.Val)
 	case AggMax:
-		for len(g.deque) > 0 && g.deque[len(g.deque)-1] < e.Val {
-			g.deque = g.deque[:len(g.deque)-1]
+		for !g.deque.empty() && g.deque.back() < e.Val {
+			g.deque.popBack()
 		}
-		g.deque = append(g.deque, e.Val)
+		g.deque.pushBack(e.Val)
+	}
+	if wasEmpty {
+		a.heapPush(g)
 	}
 }
 
@@ -129,8 +202,36 @@ func (a *WindowAgg) remove(g *aggState) {
 	e := g.win.pop()
 	g.count--
 	g.sum -= e.Val
-	if (a.kind == AggMin || a.kind == AggMax) && len(g.deque) > 0 && g.deque[0] == e.Val {
-		g.deque = g.deque[1:]
+	if (a.kind == AggMin || a.kind == AggMax) && !g.deque.empty() && g.deque.front() == e.Val {
+		g.deque.popFront()
+	}
+	// The group's oldest element changed: re-seat it in the expiry heap.
+	// Event time is nondecreasing within a window, so the new front can
+	// only be later — a sift toward the leaves suffices.
+	if g.win.empty() {
+		a.heapRemove(g)
+	} else {
+		a.heapDown(g.hpos)
+	}
+}
+
+// expire removes every window element with TS <= deadline across all
+// groups, consulting only groups whose oldest element is due via the
+// expiry heap. Groups left empty are dropped, except keep — the group
+// about to receive the arriving element — so whole-stream windows stay
+// consistent even for groups that receive no new elements for a while.
+func (a *WindowAgg) expire(deadline int64, keep *aggState) {
+	for len(a.expq) > 0 {
+		g := a.expq[0]
+		if g.win.front().TS > deadline {
+			return
+		}
+		for !g.win.empty() && g.win.front().TS <= deadline {
+			a.remove(g)
+		}
+		if g.win.empty() && g != keep {
+			delete(a.groups, g.key)
+		}
 	}
 }
 
@@ -146,21 +247,22 @@ func (a *WindowAgg) result(g *aggState) float64 {
 		}
 		return g.sum / float64(g.count)
 	case AggMin, AggMax:
-		if len(g.deque) == 0 {
+		if g.deque.empty() {
 			return 0
 		}
-		return g.deque[0]
+		return g.deque.front()
 	}
 	panic("op: unknown aggregate kind")
 }
 
-// Process implements Sink.
-func (a *WindowAgg) Process(_ int, e stream.Element) {
-	t := a.BeginWork(e)
+// step applies one element to the aggregate state and returns the updated
+// aggregate to emit. Shared by the scalar and batch paths so they cannot
+// diverge semantically.
+func (a *WindowAgg) step(e stream.Element) stream.Element {
 	key := a.group(e)
 	g := a.groups[key]
 	if g == nil {
-		g = &aggState{}
+		g = &aggState{key: key, hpos: -1}
 		a.groups[key] = g
 	}
 	if a.rows > 0 {
@@ -170,21 +272,35 @@ func (a *WindowAgg) Process(_ int, e stream.Element) {
 			a.remove(g)
 		}
 	} else {
-		deadline := e.TS - a.window
-		// Expire from every group so whole-stream windows stay consistent
-		// even for groups that receive no new elements for a while.
-		for k, other := range a.groups {
-			for !other.win.empty() && other.win.front().TS <= deadline {
-				a.remove(other)
-			}
-			if other != g && other.win.empty() {
-				delete(a.groups, k)
-			}
-		}
+		a.expire(e.TS-a.window, g)
 		a.add(g, e)
 	}
-	a.Emit(stream.Element{TS: e.TS, Key: key, Val: a.result(g)})
+	return stream.Element{TS: e.TS, Key: key, Val: a.result(g)}
+}
+
+// Process implements Sink.
+func (a *WindowAgg) Process(_ int, e stream.Element) {
+	t := a.BeginWork(e)
+	a.Emit(a.step(e))
 	a.EndWork(t)
+}
+
+// ProcessBatch implements BatchSink. Expiry stays per element — the
+// emitted aggregate value at each element's event time depends on it — but
+// the heap makes it O(1) when nothing is due, and metering and downstream
+// dispatch are hoisted out of the loop: one stats update and one fan-out
+// per batch.
+func (a *WindowAgg) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := a.BeginWorkBatch(es)
+	out := a.scratch(len(es))
+	for _, e := range es {
+		out = append(out, a.step(e))
+	}
+	a.flush(out)
+	a.EndWorkBatch(t, len(es))
 }
 
 // Done implements Sink.

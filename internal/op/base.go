@@ -8,10 +8,22 @@ import (
 	"github.com/dsms/hmts/internal/stream"
 )
 
-// edge is one subscription: deliver to sink at its input port.
+// edge is one subscription: deliver to sink at its input port. batch is the
+// sink's BatchSink view, resolved once at Subscribe time so that EmitBatch
+// pays no per-batch type assertion.
 type edge struct {
-	sink Sink
-	port int
+	sink  Sink
+	batch BatchSink
+	port  int
+}
+
+// newEdge resolves the sink's batch capability once.
+func newEdge(s Sink, port int) edge {
+	e := edge{sink: s, port: port}
+	if bs, ok := s.(BatchSink); ok {
+		e.batch = bs
+	}
+	return e
 }
 
 // Base provides the bookkeeping shared by all operators: naming, output
@@ -25,6 +37,11 @@ type Base struct {
 	doneIn []bool
 	closed atomic.Bool
 	meterN uint64
+	// obuf is the operator's reusable batch output buffer (see scratch/
+	// flush). It holds at most one batch's worth of emitted elements
+	// between ProcessBatch calls — bounded retention, unlike a leaked
+	// slice head.
+	obuf []stream.Element
 }
 
 // InitBase prepares an embedded Base with the operator name and number of
@@ -50,7 +67,7 @@ func (b *Base) Ins() int { return b.ins }
 
 // Subscribe implements Operator.
 func (b *Base) Subscribe(s Sink, port int) {
-	b.edges = append(b.edges, edge{sink: s, port: port})
+	b.edges = append(b.edges, newEdge(s, port))
 }
 
 // Unsubscribe implements Operator. It panics if the edge is not present,
@@ -74,6 +91,47 @@ func (b *Base) Emit(e stream.Element) {
 	for _, ed := range b.edges {
 		ed.sink.Process(ed.port, e)
 	}
+}
+
+// EmitBatch pushes a batch of results to every subscriber with one stats
+// update and one dispatch per edge: batch-capable subscribers receive the
+// whole slice via ProcessBatch, the rest an in-order Process loop. The
+// slice is handed to every edge in turn, so subscribers must neither retain
+// nor mutate it (the BatchSink contract). Ordering is preserved per edge;
+// across edges the fan-out interleaving coarsens to batch granularity.
+func (b *Base) EmitBatch(es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	b.st.RecordOut(len(es))
+	for i := range b.edges {
+		ed := &b.edges[i]
+		if ed.batch != nil {
+			ed.batch.ProcessBatch(ed.port, es)
+			continue
+		}
+		for _, e := range es {
+			ed.sink.Process(ed.port, e)
+		}
+	}
+}
+
+// scratch returns the operator's output buffer, emptied, with capacity at
+// least n. ProcessBatch implementations append results to it and hand it
+// back through flush; because a DI graph is acyclic and a partition is
+// single-threaded, the buffer can never be re-entered while in use.
+func (b *Base) scratch(n int) []stream.Element {
+	if cap(b.obuf) < n {
+		b.obuf = make([]stream.Element, 0, n)
+	}
+	return b.obuf[:0]
+}
+
+// flush emits the accumulated batch and reclaims the buffer (including any
+// growth beyond the scratch request) for the next call.
+func (b *Base) flush(out []stream.Element) {
+	b.EmitBatch(out)
+	b.obuf = out[:0]
 }
 
 // Close propagates Done to all subscribers exactly once.
@@ -120,5 +178,26 @@ func (b *Base) BeginWork(e stream.Element) int64 {
 func (b *Base) EndWork(start int64) {
 	if start >= 0 {
 		b.st.RecordBusy(monotime() - start)
+	}
+}
+
+// BeginWorkBatch records a whole arriving batch with one stats update (one
+// counter add and one d(v) observation instead of len(es) of each) and, on
+// sampled batches, returns a start time for cost metering; otherwise -1.
+// Pair with EndWorkBatch. es must be non-empty.
+func (b *Base) BeginWorkBatch(es []stream.Element) int64 {
+	b.st.RecordInBatch(es[0].TS, es[len(es)-1].TS, len(es))
+	b.meterN++
+	if b.meterN%meterBatchEvery == 0 {
+		return monotime()
+	}
+	return -1
+}
+
+// EndWorkBatch completes cost metering begun by BeginWorkBatch over n
+// elements; the c(v) estimator receives the amortized per-element cost.
+func (b *Base) EndWorkBatch(start int64, n int) {
+	if start >= 0 {
+		b.st.RecordBusyBatch(monotime()-start, n)
 	}
 }

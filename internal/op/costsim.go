@@ -43,6 +43,24 @@ func (c *CostSim) Process(_ int, e stream.Element) {
 	c.EndWork(t)
 }
 
+// ProcessBatch implements BatchSink: the simulated cost is burned in one
+// spin of n×costNS — the same total thread occupancy as n scalar calls.
+func (c *CostSim) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := c.BeginWorkBatch(es)
+	simtime.Busy(c.costNS * int64(len(es)))
+	out := c.scratch(len(es))
+	for _, e := range es {
+		if c.pred == nil || c.pred(e) {
+			out = append(out, e)
+		}
+	}
+	c.flush(out)
+	c.EndWorkBatch(t, len(es))
+}
+
 // Done implements Sink.
 func (c *CostSim) Done(port int) {
 	if c.MarkDone(port) {

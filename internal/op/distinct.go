@@ -25,9 +25,9 @@ func NewDistinct(name string, window int64) *Distinct {
 // StateLen returns the number of keys currently remembered.
 func (d *Distinct) StateLen() int { return len(d.seen) }
 
-// Process implements Sink.
-func (d *Distinct) Process(_ int, e stream.Element) {
-	t := d.BeginWork(e)
+// step expires due entries, updates the suppression state for e and
+// reports whether e passes. Shared by the scalar and batch paths.
+func (d *Distinct) step(e stream.Element) bool {
 	deadline := e.TS - d.window
 	for !d.order.empty() && d.order.front().TS <= deadline {
 		old := d.order.pop()
@@ -37,16 +37,38 @@ func (d *Distinct) Process(_ int, e stream.Element) {
 			delete(d.seen, old.Key)
 		}
 	}
-	if _, dup := d.seen[e.Key]; !dup {
-		d.seen[e.Key] = e.TS
-		d.order.push(stream.Element{TS: e.TS, Key: e.Key})
+	_, dup := d.seen[e.Key]
+	// Arm or refresh the suppression deadline for this key either way.
+	d.seen[e.Key] = e.TS
+	d.order.push(stream.Element{TS: e.TS, Key: e.Key})
+	return !dup
+}
+
+// Process implements Sink.
+func (d *Distinct) Process(_ int, e stream.Element) {
+	t := d.BeginWork(e)
+	if d.step(e) {
 		d.Emit(e)
-	} else {
-		// Refresh the suppression deadline for this key.
-		d.seen[e.Key] = e.TS
-		d.order.push(stream.Element{TS: e.TS, Key: e.Key})
 	}
 	d.EndWork(t)
+}
+
+// ProcessBatch implements BatchSink. Expiry remains per element (whether a
+// duplicate is suppressed depends on it), but stats and the downstream
+// dispatch are batched.
+func (d *Distinct) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := d.BeginWorkBatch(es)
+	out := d.scratch(len(es))
+	for _, e := range es {
+		if d.step(e) {
+			out = append(out, e)
+		}
+	}
+	d.flush(out)
+	d.EndWorkBatch(t, len(es))
 }
 
 // Done implements Sink.

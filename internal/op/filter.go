@@ -46,6 +46,24 @@ func (f *Filter) Process(_ int, e stream.Element) {
 	f.EndWork(t)
 }
 
+// ProcessBatch implements BatchSink: the batch is filtered into the
+// operator's output buffer and forwarded with one stats update and one
+// fan-out dispatch.
+func (f *Filter) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := f.BeginWorkBatch(es)
+	out := f.scratch(len(es))
+	for _, e := range es {
+		if f.pred(e) {
+			out = append(out, e)
+		}
+	}
+	f.flush(out)
+	f.EndWorkBatch(t, len(es))
+}
+
 // Done implements Sink.
 func (f *Filter) Done(port int) {
 	if f.MarkDone(port) {

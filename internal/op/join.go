@@ -81,6 +81,10 @@ func (s *hashSide) expire(deadline int64) {
 		if len(bucket) == 1 {
 			delete(s.table, e.Key)
 		} else {
+			// Zero the evicted slot before re-slicing: the backing array
+			// outlives the head, and a stale slot would pin the expired
+			// element's Aux payload until the next append reallocates.
+			bucket[0] = stream.Element{}
 			s.table[e.Key] = bucket[1:]
 		}
 	}
@@ -90,12 +94,9 @@ func (s *hashSide) expire(deadline int64) {
 // sides' windows — the join's state size.
 func (j *SHJ) WindowLen() int { return j.sides[0].order.len() + j.sides[1].order.len() }
 
-// Process implements Sink.
-func (j *SHJ) Process(port int, e stream.Element) {
-	t := j.BeginWork(e)
-	deadline := e.TS - j.window
-	j.sides[0].expire(deadline)
-	j.sides[1].expire(deadline)
+// probe inserts e into its own side, probes the opposite side, and appends
+// every match to out. Shared by the scalar and batch paths.
+func (j *SHJ) probe(port int, e stream.Element, out []stream.Element) []stream.Element {
 	own, other := &j.sides[port], &j.sides[1-port]
 	own.insert(e)
 	for _, m := range other.table[e.Key] {
@@ -106,12 +107,49 @@ func (j *SHJ) Process(port int, e stream.Element) {
 			continue
 		}
 		if port == 0 {
-			j.Emit(j.merge(e, m))
+			out = append(out, j.merge(e, m))
 		} else {
-			j.Emit(j.merge(m, e))
+			out = append(out, j.merge(m, e))
 		}
 	}
+	return out
+}
+
+// Process implements Sink.
+func (j *SHJ) Process(port int, e stream.Element) {
+	t := j.BeginWork(e)
+	deadline := e.TS - j.window
+	j.sides[0].expire(deadline)
+	j.sides[1].expire(deadline)
+	out := j.probe(port, e, j.scratch(1))
+	for _, r := range out {
+		j.Emit(r)
+	}
+	j.obuf = out[:0]
 	j.EndWork(t)
+}
+
+// ProcessBatch implements BatchSink. Expiry is hoisted out of the
+// per-element loop: one pass per side with the deadline of the batch's
+// first element. That cannot change outputs — event time is nondecreasing,
+// so anything expirable at the first element is out of window for every
+// batch element, and anything a later element would have expired is still
+// rejected by the explicit withinWindow probe predicate; only state
+// eviction is deferred, by at most one batch.
+func (j *SHJ) ProcessBatch(port int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := j.BeginWorkBatch(es)
+	deadline := es[0].TS - j.window
+	j.sides[0].expire(deadline)
+	j.sides[1].expire(deadline)
+	out := j.scratch(len(es))
+	for _, e := range es {
+		out = j.probe(port, e, out)
+	}
+	j.flush(out)
+	j.EndWorkBatch(t, len(es))
 }
 
 // Done implements Sink.
@@ -154,32 +192,64 @@ func NewSNJ(name string, window int64, pred func(l, r stream.Element) bool, merg
 // sides' windows.
 func (j *SNJ) WindowLen() int { return j.wins[0].len() + j.wins[1].len() }
 
-// Process implements Sink.
-func (j *SNJ) Process(port int, e stream.Element) {
-	t := j.BeginWork(e)
-	deadline := e.TS - j.window
+// expire drops window elements at or before deadline from both sides.
+func (j *SNJ) expire(deadline int64) {
 	for s := 0; s < 2; s++ {
 		w := &j.wins[s]
 		for !w.empty() && w.front().TS <= deadline {
 			w.pop()
 		}
 	}
+}
+
+// scan inserts e and scans the opposite window, appending matches to out.
+// Shared by the scalar and batch paths.
+func (j *SNJ) scan(port int, e stream.Element, out []stream.Element) []stream.Element {
 	j.wins[port].push(e)
 	other := &j.wins[1-port]
 	if port == 0 {
 		other.each(func(m stream.Element) {
 			if withinWindow(e.TS, m.TS, j.window) && j.pred(e, m) {
-				j.Emit(j.merge(e, m))
+				out = append(out, j.merge(e, m))
 			}
 		})
 	} else {
 		other.each(func(m stream.Element) {
 			if withinWindow(e.TS, m.TS, j.window) && j.pred(m, e) {
-				j.Emit(j.merge(m, e))
+				out = append(out, j.merge(m, e))
 			}
 		})
 	}
+	return out
+}
+
+// Process implements Sink.
+func (j *SNJ) Process(port int, e stream.Element) {
+	t := j.BeginWork(e)
+	j.expire(e.TS - j.window)
+	out := j.scan(port, e, j.scratch(1))
+	for _, r := range out {
+		j.Emit(r)
+	}
+	j.obuf = out[:0]
 	j.EndWork(t)
+}
+
+// ProcessBatch implements BatchSink. As in SHJ, expiry is hoisted to one
+// pass with the first element's deadline — output-equivalent because every
+// match is re-checked against the event-time window predicate.
+func (j *SNJ) ProcessBatch(port int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := j.BeginWorkBatch(es)
+	j.expire(es[0].TS - j.window)
+	out := j.scratch(len(es))
+	for _, e := range es {
+		out = j.scan(port, e, out)
+	}
+	j.flush(out)
+	j.EndWorkBatch(t, len(es))
 }
 
 // Done implements Sink.

@@ -35,6 +35,22 @@ func (m *Map) Process(_ int, e stream.Element) {
 	m.EndWork(t)
 }
 
+// ProcessBatch implements BatchSink: the transformation runs out-of-place
+// into the output buffer (the input slice is shared with sibling fan-out
+// edges and must not be mutated).
+func (m *Map) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := m.BeginWorkBatch(es)
+	out := m.scratch(len(es))
+	for _, e := range es {
+		out = append(out, m.fn(e))
+	}
+	m.flush(out)
+	m.EndWorkBatch(t, len(es))
+}
+
 // Done implements Sink.
 func (m *Map) Done(port int) {
 	if m.MarkDone(port) {

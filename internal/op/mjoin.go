@@ -16,6 +16,7 @@ type MJoin struct {
 	window int64
 	merge  MergeFunc
 	sides  []hashSide
+	parts  []stream.Element // combination buffer, reused across probes
 }
 
 // NewMJoin returns an n-way symmetric hash join (n >= 2) with the given
@@ -30,7 +31,7 @@ func NewMJoin(name string, n int, window int64, merge MergeFunc) *MJoin {
 	if merge == nil {
 		merge = defaultMerge
 	}
-	j := &MJoin{window: window, merge: merge, sides: make([]hashSide, n)}
+	j := &MJoin{window: window, merge: merge, sides: make([]hashSide, n), parts: make([]stream.Element, n)}
 	j.InitBase(name, n)
 	for i := range j.sides {
 		j.sides[i].table = make(map[int64][]stream.Element)
@@ -47,6 +48,43 @@ func (j *MJoin) WindowLen() int {
 	return n
 }
 
+// arrive inserts e into side port, probes the other sides, and appends one
+// output per complete combination to out. Shared by the scalar and batch
+// paths.
+func (j *MJoin) arrive(port int, e stream.Element, out []stream.Element) []stream.Element {
+	j.sides[port].insert(e)
+	// Probe the other sides in port order, building combinations
+	// recursively. parts[i] is the element chosen for side i; the arriving
+	// element fills its own slot. The buffer is operator-owned and reused
+	// — the partition contract guarantees one probe at a time.
+	j.parts[port] = e
+	return j.probe(0, port, e, out)
+}
+
+// probe fills slot i and recurses; when all slots are filled it appends the
+// fold of the combination to out. Every member of a combination must lie
+// within the window of the arriving element e.
+func (j *MJoin) probe(i, skip int, e stream.Element, out []stream.Element) []stream.Element {
+	if i == len(j.sides) {
+		acc := j.parts[0]
+		for k := 1; k < len(j.parts); k++ {
+			acc = j.merge(acc, j.parts[k])
+		}
+		return append(out, acc)
+	}
+	if i == skip {
+		return j.probe(i+1, skip, e, out)
+	}
+	for _, m := range j.sides[i].table[e.Key] {
+		if !withinWindow(e.TS, m.TS, j.window) {
+			continue
+		}
+		j.parts[i] = m
+		out = j.probe(i+1, skip, e, out)
+	}
+	return out
+}
+
 // Process implements Sink.
 func (j *MJoin) Process(port int, e stream.Element) {
 	t := j.BeginWork(e)
@@ -54,39 +92,32 @@ func (j *MJoin) Process(port int, e stream.Element) {
 	for i := range j.sides {
 		j.sides[i].expire(deadline)
 	}
-	j.sides[port].insert(e)
-	// Probe the other sides in port order, building combinations
-	// recursively. parts[i] is the element chosen for side i; the arriving
-	// element fills its own slot.
-	parts := make([]stream.Element, len(j.sides))
-	parts[port] = e
-	j.probe(0, port, e, parts)
+	out := j.arrive(port, e, j.scratch(1))
+	for _, r := range out {
+		j.Emit(r)
+	}
+	j.obuf = out[:0]
 	j.EndWork(t)
 }
 
-// probe fills slot i and recurses; when all slots are filled it emits the
-// fold of the combination. Every member of a combination must lie within
-// the window of the arriving element e.
-func (j *MJoin) probe(i, skip int, e stream.Element, parts []stream.Element) {
-	if i == len(j.sides) {
-		acc := parts[0]
-		for k := 1; k < len(parts); k++ {
-			acc = j.merge(acc, parts[k])
-		}
-		j.Emit(acc)
+// ProcessBatch implements BatchSink. As in SHJ, expiry is hoisted to one
+// pass per side with the first element's deadline — output-equivalent
+// because combinations are gated by the event-time window predicate.
+func (j *MJoin) ProcessBatch(port int, es []stream.Element) {
+	if len(es) == 0 {
 		return
 	}
-	if i == skip {
-		j.probe(i+1, skip, e, parts)
-		return
+	t := j.BeginWorkBatch(es)
+	deadline := es[0].TS - j.window
+	for i := range j.sides {
+		j.sides[i].expire(deadline)
 	}
-	for _, m := range j.sides[i].table[e.Key] {
-		if !withinWindow(e.TS, m.TS, j.window) {
-			continue
-		}
-		parts[i] = m
-		j.probe(i+1, skip, e, parts)
+	out := j.scratch(len(es))
+	for _, e := range es {
+		out = j.arrive(port, e, out)
 	}
+	j.flush(out)
+	j.EndWorkBatch(t, len(es))
 }
 
 // Done implements Sink.

@@ -44,9 +44,9 @@ func (r *Reorder) Buffered() int { return len(r.buf) }
 // emitted out of order.
 func (r *Reorder) Late() uint64 { return r.late }
 
-// Process implements Sink.
-func (r *Reorder) Process(_ int, e stream.Element) {
-	t := r.BeginWork(e)
+// step buffers or releases one element, appending everything released to
+// out. Shared by the scalar and batch paths.
+func (r *Reorder) step(e stream.Element, out []stream.Element) []stream.Element {
 	if e.TS > r.maxTS {
 		r.maxTS = e.TS
 	}
@@ -54,16 +54,41 @@ func (r *Reorder) Process(_ int, e stream.Element) {
 		// Beyond the disorder bound: pass through immediately rather
 		// than emit behind elements that already left.
 		r.late++
-		r.Emit(e)
-		r.EndWork(t)
-		return
+		return append(out, e)
 	}
 	heap.Push(&r.buf, e)
 	watermark := r.maxTS - r.slack
 	for len(r.buf) > 0 && r.buf[0].TS <= watermark {
-		r.Emit(heap.Pop(&r.buf).(stream.Element))
+		out = append(out, heap.Pop(&r.buf).(stream.Element))
 	}
+	return out
+}
+
+// Process implements Sink.
+func (r *Reorder) Process(_ int, e stream.Element) {
+	t := r.BeginWork(e)
+	out := r.step(e, r.scratch(1))
+	for _, rel := range out {
+		r.Emit(rel)
+	}
+	r.obuf = out[:0]
 	r.EndWork(t)
+}
+
+// ProcessBatch implements BatchSink: releases across the batch accumulate
+// and leave in one fan-out dispatch, in the same release order as the
+// scalar path.
+func (r *Reorder) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := r.BeginWorkBatch(es)
+	out := r.scratch(len(es))
+	for _, e := range es {
+		out = r.step(e, out)
+	}
+	r.flush(out)
+	r.EndWorkBatch(t, len(es))
 }
 
 // Done implements Sink; the buffer is flushed in order before closing.

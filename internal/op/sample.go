@@ -34,6 +34,24 @@ func (s *Sample) Process(_ int, e stream.Element) {
 	s.EndWork(t)
 }
 
+// ProcessBatch implements BatchSink. The PRNG draws in element order, so a
+// given input stream yields the same sample whether it arrives element by
+// element or in batches.
+func (s *Sample) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := s.BeginWorkBatch(es)
+	out := s.scratch(len(es))
+	for _, e := range es {
+		if s.rng.Bool(s.p) {
+			out = append(out, e)
+		}
+	}
+	s.flush(out)
+	s.EndWorkBatch(t, len(es))
+}
+
 // Done implements Sink.
 func (s *Sample) Done(port int) {
 	if s.MarkDone(port) {

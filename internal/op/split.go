@@ -16,6 +16,7 @@ type Switch struct {
 	preds    []func(stream.Element) bool
 	branches [][]edge
 	routeAll bool
+	taken    []bool // per-batch consumed marks, reused across batches
 }
 
 // NewSwitch returns a router with one branch per predicate. A nil predicate
@@ -35,7 +36,7 @@ func (s *Switch) SubscribeBranch(i int, sink Sink, port int) {
 	if i < 0 || i >= len(s.branches) {
 		panic(fmt.Sprintf("op: switch %q has no branch %d", s.Name(), i))
 	}
-	s.branches[i] = append(s.branches[i], edge{sink: sink, port: port})
+	s.branches[i] = append(s.branches[i], newEdge(sink, port))
 }
 
 // Subscribe attaches to branch 0, satisfying Operator for single-branch use.
@@ -69,6 +70,52 @@ func (s *Switch) Process(_ int, e stream.Element) {
 		}
 	}
 	s.EndWork(t)
+}
+
+// ProcessBatch implements BatchSink. Elements are gathered per branch and
+// dispatched with one stats update and one delivery per branch; a consumed
+// bitmap preserves the first-matching-branch semantics when routeAll is
+// off. Per-branch element order matches the scalar path exactly; only the
+// interleaving across branches coarsens to batch granularity.
+func (s *Switch) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := s.BeginWorkBatch(es)
+	if cap(s.taken) < len(es) {
+		s.taken = make([]bool, len(es))
+	}
+	taken := s.taken[:len(es)]
+	for i := range taken {
+		taken[i] = false
+	}
+	for bi, p := range s.preds {
+		out := s.scratch(len(es))
+		for i, e := range es {
+			if !s.routeAll && taken[i] {
+				continue
+			}
+			if p == nil || p(e) {
+				taken[i] = true
+				out = append(out, e)
+			}
+		}
+		if len(out) > 0 {
+			s.Stats().RecordOut(len(out))
+			for j := range s.branches[bi] {
+				ed := &s.branches[bi][j]
+				if ed.batch != nil {
+					ed.batch.ProcessBatch(ed.port, out)
+					continue
+				}
+				for _, e := range out {
+					ed.sink.Process(ed.port, e)
+				}
+			}
+		}
+		s.obuf = out[:0]
+	}
+	s.EndWorkBatch(t, len(es))
 }
 
 // Done implements Sink.

@@ -41,9 +41,9 @@ func NewThrottle(name string, rateHz float64, burst float64) *Throttle {
 // Dropped returns how many elements were shed.
 func (t *Throttle) Dropped() uint64 { return t.dropped }
 
-// Process implements Sink.
-func (t *Throttle) Process(_ int, e stream.Element) {
-	w := t.BeginWork(e)
+// admit runs the token-bucket accounting for one element and reports
+// whether it passes.
+func (t *Throttle) admit(e stream.Element) bool {
 	if t.started {
 		if dt := e.TS - t.lastTS; dt > 0 {
 			t.credNS += dt
@@ -61,11 +61,37 @@ func (t *Throttle) Process(_ int, e stream.Element) {
 	t.lastTS = e.TS
 	if t.tokens >= 1 {
 		t.tokens--
+		return true
+	}
+	t.dropped++
+	return false
+}
+
+// Process implements Sink.
+func (t *Throttle) Process(_ int, e stream.Element) {
+	w := t.BeginWork(e)
+	if t.admit(e) {
 		t.Emit(e)
-	} else {
-		t.dropped++
 	}
 	t.EndWork(w)
+}
+
+// ProcessBatch implements BatchSink. Token accounting runs on each
+// element's event time exactly as in the scalar path — only the metering
+// and the downstream dispatch are batched.
+func (t *Throttle) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	w := t.BeginWorkBatch(es)
+	out := t.scratch(len(es))
+	for _, e := range es {
+		if t.admit(e) {
+			out = append(out, e)
+		}
+	}
+	t.flush(out)
+	t.EndWorkBatch(w, len(es))
 }
 
 // Done implements Sink.

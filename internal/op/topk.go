@@ -55,9 +55,10 @@ func (t *TopK) Top() []int64 {
 	return keys
 }
 
-// Process implements Sink.
-func (t *TopK) Process(_ int, e stream.Element) {
-	w := t.BeginWork(e)
+// step folds one element into the window counts and appends an element to
+// out for every key newly entering the top-k set. Shared by the scalar and
+// batch paths.
+func (t *TopK) step(e stream.Element, out []stream.Element) []stream.Element {
 	deadline := e.TS - t.window
 	for !t.order.empty() && t.order.front().TS <= deadline {
 		old := t.order.pop()
@@ -75,11 +76,37 @@ func (t *TopK) Process(_ int, e stream.Element) {
 	for _, k := range top {
 		newSet[k] = true
 		if !t.inTop[k] {
-			t.Emit(stream.Element{TS: e.TS, Key: k, Val: float64(t.counts[k])})
+			out = append(out, stream.Element{TS: e.TS, Key: k, Val: float64(t.counts[k])})
 		}
 	}
 	t.inTop = newSet
+	return out
+}
+
+// Process implements Sink.
+func (t *TopK) Process(_ int, e stream.Element) {
+	w := t.BeginWork(e)
+	out := t.step(e, t.scratch(1))
+	for _, r := range out {
+		t.Emit(r)
+	}
+	t.obuf = out[:0]
 	t.EndWork(w)
+}
+
+// ProcessBatch implements BatchSink: entering-key notifications accumulate
+// across the batch and leave in one fan-out dispatch.
+func (t *TopK) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	w := t.BeginWorkBatch(es)
+	out := t.scratch(len(es))
+	for _, e := range es {
+		out = t.step(e, out)
+	}
+	t.flush(out)
+	t.EndWorkBatch(w, len(es))
 }
 
 // Done implements Sink.

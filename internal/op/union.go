@@ -25,6 +25,18 @@ func (u *Union) Process(_ int, e stream.Element) {
 	u.EndWork(t)
 }
 
+// ProcessBatch implements BatchSink: a pure pass-through, so the incoming
+// slice is forwarded as-is — no copy, since neither Union nor any
+// downstream BatchSink may mutate or retain it.
+func (u *Union) ProcessBatch(_ int, es []stream.Element) {
+	if len(es) == 0 {
+		return
+	}
+	t := u.BeginWorkBatch(es)
+	u.EmitBatch(es)
+	u.EndWorkBatch(t, len(es))
+}
+
 // Done implements Sink.
 func (u *Union) Done(port int) {
 	if u.MarkDone(port) {

@@ -39,3 +39,37 @@ func (f *fifo) each(fn func(stream.Element)) {
 		fn(e)
 	}
 }
+
+// f64deque is a slice-backed double-ended queue of float64 with the same
+// head-index-and-compact discipline as fifo, so popping from the front
+// never strands a growing dead prefix in the backing array (the slice-head
+// leak a bare `d = d[1:]` re-slice would cause).
+type f64deque struct {
+	buf  []float64
+	head int
+}
+
+func (d *f64deque) len() int { return len(d.buf) - d.head }
+
+func (d *f64deque) empty() bool { return d.head >= len(d.buf) }
+
+// front returns the oldest value; it panics on an empty deque.
+func (d *f64deque) front() float64 { return d.buf[d.head] }
+
+// back returns the newest value; it panics on an empty deque.
+func (d *f64deque) back() float64 { return d.buf[len(d.buf)-1] }
+
+func (d *f64deque) pushBack(v float64) { d.buf = append(d.buf, v) }
+
+func (d *f64deque) popBack() { d.buf = d.buf[:len(d.buf)-1] }
+
+// popFront drops the oldest value, compacting once half the backing slice
+// is dead so memory stays proportional to the live window.
+func (d *f64deque) popFront() {
+	d.head++
+	if d.head > len(d.buf)/2 && d.head > 32 {
+		n := copy(d.buf, d.buf[d.head:])
+		d.buf = d.buf[:n]
+		d.head = 0
+	}
+}

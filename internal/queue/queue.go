@@ -69,6 +69,11 @@ type sub struct {
 		Process(port int, e stream.Element)
 		Done(port int)
 	}
+	// batch is the sink's batched-delivery view (op.BatchSink, structurally),
+	// resolved once at Subscribe so DrainBatch pays no per-batch assertion.
+	batch interface {
+		ProcessBatch(port int, es []stream.Element)
+	}
 	port int
 }
 
@@ -129,12 +134,20 @@ func (q *Queue) SetProducers(n int) {
 	q.mu.Unlock()
 }
 
-// Subscribe attaches a downstream sink; Drain delivers into it.
+// Subscribe attaches a downstream sink; Drain delivers into it. A sink
+// that also implements ProcessBatch receives DrainBatch transfers as whole
+// batches, so a drained burst enters the downstream DI chain in one call.
 func (q *Queue) Subscribe(s interface {
 	Process(port int, e stream.Element)
 	Done(port int)
 }, port int) {
-	q.subs = append(q.subs, sub{sink: s, port: port})
+	e := sub{sink: s, port: port}
+	if bs, ok := s.(interface {
+		ProcessBatch(port int, es []stream.Element)
+	}); ok {
+		e.batch = bs
+	}
+	q.subs = append(q.subs, e)
 }
 
 // Unsubscribe detaches a previously subscribed edge.
@@ -555,8 +568,16 @@ func (q *Queue) DrainBatch(scratch []stream.Element, max int) (n int, open bool)
 	}
 	q.deq.Add(uint64(take))
 	q.st.RecordOut(take)
-	for i := 0; i < take; i++ {
-		for _, s := range q.subs {
+	for _, s := range q.subs {
+		if s.batch != nil {
+			// The whole batch flows into the downstream DI chain in one
+			// call; subscribers must not retain or mutate the slice (the
+			// op.BatchSink contract), since it is shared across the
+			// fan-out and reused by the caller.
+			s.batch.ProcessBatch(s.port, scratch[:take])
+			continue
+		}
+		for i := 0; i < take; i++ {
 			s.sink.Process(s.port, scratch[i])
 		}
 	}

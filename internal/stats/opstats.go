@@ -80,6 +80,19 @@ func (s *OpStats) RecordBusy(d int64) {
 	s.costNS.Observe(float64(d))
 }
 
+// RecordBusyBatch adds d nanoseconds of processing time spanning n elements
+// — the bulk mirror of RecordBusy for batch-metered operators. The cost
+// estimator c(v) stays per-element: it receives one observation of d/n, so
+// a metered batch is one EWMA update whose value is the amortized cost the
+// capacity model cap(P) = d(P) − c(P) is defined over.
+func (s *OpStats) RecordBusyBatch(d int64, n int) {
+	if n <= 0 {
+		return
+	}
+	s.busyNS.Add(d)
+	s.costNS.Observe(float64(d) / float64(n))
+}
+
 // In returns the number of elements received.
 func (s *OpStats) In() uint64 { return s.in.Load() }
 
