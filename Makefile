@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: ci vet build test race saturation bench benchsmoke
+.PHONY: ci vet build test race saturation bench benchsmoke bounded
 
 # The gate every PR must pass. benchsmoke compiles and runs every benchmark
 # once so a PR cannot rot the measurement harness silently.
-ci: vet build test race saturation benchsmoke
+ci: vet build test race saturation benchsmoke bounded
 
 # Covers cmd/ as well as internal/ — ./... is the whole module.
 vet:
@@ -23,6 +23,14 @@ test:
 # vectorized operator paths end to end.
 race:
 	$(GO) test -race ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./adapt
+
+# The bounded-queue deadlock regression gate: cooperative blocking must
+# survive a single OS thread, where a parked producer that fails to yield
+# its run permit freezes the whole process rather than just one pipeline.
+bounded:
+	GOMAXPROCS=1 $(GO) test -timeout 120s \
+		-run 'Bounded|BlockedProducer|PermitHolding|LeaksNoGoroutines|Hook|Reconfigure' \
+		./internal/queue ./internal/sched .
 
 # The capacity-model validation is a timing experiment; run it a few times so
 # a flaky pass cannot slip through.

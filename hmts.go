@@ -71,7 +71,12 @@ type RunConfig struct {
 	// the paper in not using the level-3 scheduler.
 	MaxThreads int
 	// QueueBound bounds decoupling queues for backpressure (0 =
-	// unbounded). Incompatible with SwitchMode/Rebalance.
+	// unbounded). Safe under every mode, thread budget and live
+	// reconfiguration: producers that must block cooperate with the
+	// scheduler (yielding run permits and structural locks) instead of
+	// deadlocking. The bound is strict for cross-thread producers; a
+	// producer that is its own consumer overshoots it rather than
+	// self-deadlock, as does teardown mid-push.
 	QueueBound int
 }
 

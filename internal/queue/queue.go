@@ -11,10 +11,33 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dsms/hmts/internal/stats"
 	"github.com/dsms/hmts/internal/stream"
 )
+
+// WaitHook lets the scheduler cooperate with blocking pushes. When a
+// producer must park on a full bounded queue, parking while holding
+// scheduler resources (a level-3 run permit, the deployment's structural
+// read lock) can starve the very consumer that would free space. The hook
+// is consulted only on the park path — the non-full fast path pays a single
+// nil check — and lets the owner release those resources first.
+//
+// Contract: Yield is called without the queue lock immediately before the
+// producer would park. It returns park=false to veto parking entirely (the
+// push then proceeds past the bound — used when producer and consumer are
+// the same thread, where parking can never be woken); in that case Resume
+// is not called. With park=true the producer blocks on space/poison/abort;
+// abort (may be nil) is an additional wake channel — typically the owner's
+// stop signal — and a wake through it also forces the push past the bound
+// so no element is lost when an executor is halted mid-push. After the
+// park ends for any reason, Resume is called exactly once (same goroutine)
+// to reacquire whatever Yield released; aborted reports an abort wake.
+type WaitHook interface {
+	Yield(q *Queue) (park bool, abort <-chan struct{})
+	Resume(q *Queue, aborted bool)
+}
 
 // Queue is a FIFO buffer between graph partitions. The upstream side is an
 // op.Sink (Process/Done, safe for concurrent producers). The downstream
@@ -40,6 +63,7 @@ type Queue struct {
 	subs   []sub
 	notify func()
 	poison chan struct{}
+	hook   WaitHook // consulted (outside mu) before parking on a full queue
 
 	// Gauges: the queue state strategies and samplers consult, published
 	// atomically inside the locked mutation sections so that readers
@@ -56,6 +80,13 @@ type Queue struct {
 	enq, deq atomic.Uint64
 	maxLen   atomic.Int64
 	dropped  atomic.Uint64
+
+	// Backpressure stall counters: how often a producer parked on a full
+	// queue and the cumulative nanoseconds spent parked (including the
+	// hook's resume work). They make stalls visible to metrics consumers
+	// and the adapt estimators instead of silent.
+	fullBlocks atomic.Uint64
+	blockedNS  atomic.Int64
 }
 
 // Gauge flag bits.
@@ -111,6 +142,56 @@ func (q *Queue) Poison() {
 
 // Dropped returns how many elements were discarded due to poisoning.
 func (q *Queue) Dropped() uint64 { return q.dropped.Load() }
+
+// SetWaitHook installs the cooperative-blocking hook consulted before a
+// producer parks on a full queue. Passing nil uninstalls. The hook is
+// snapshotted per park, so a producer already parked when the hook changes
+// finishes its park against the hook it yielded through.
+func (q *Queue) SetWaitHook(h WaitHook) {
+	q.mu.Lock()
+	q.hook = h
+	q.mu.Unlock()
+}
+
+// FullBlocks returns how many times a producer parked on this queue full.
+func (q *Queue) FullBlocks() uint64 { return q.fullBlocks.Load() }
+
+// BlockedNS returns the cumulative nanoseconds producers spent parked on
+// this queue full.
+func (q *Queue) BlockedNS() int64 { return q.blockedNS.Load() }
+
+// waitSpace parks the calling producer until space frees, the queue is
+// poisoned, or the hook's abort channel fires, invoking the hook around
+// the park and metering the stall. It reports whether the push must now
+// proceed past the bound (hook veto or abort wake). The caller holds
+// neither mu nor any queue lock; it re-checks poison under mu afterwards.
+func (q *Queue) waitSpace(space <-chan struct{}, hook WaitHook) (force bool) {
+	park := true
+	var abort <-chan struct{}
+	if hook != nil {
+		park, abort = hook.Yield(q)
+		if !park {
+			// The producer must not park (it is the thread that would
+			// have to free the space itself); overshoot the bound instead
+			// of self-deadlocking.
+			return true
+		}
+	}
+	q.fullBlocks.Add(1)
+	t0 := time.Now()
+	aborted := false
+	select {
+	case <-space:
+	case <-q.poison:
+	case <-abort: // nil when no hook or no abort channel: never fires
+		aborted = true
+	}
+	if hook != nil {
+		hook.Resume(q, aborted)
+	}
+	q.blockedNS.Add(int64(time.Since(t0)))
+	return aborted
+}
 
 // Name returns the queue's display name.
 func (q *Queue) Name() string { return q.name }
@@ -275,8 +356,10 @@ func (q *Queue) Closed() bool {
 }
 
 // Process implements op.Sink: it enqueues the element, blocking while a
-// bounded queue is full. Enqueueing after all producers signaled Done
-// panics — that is always an engine bug.
+// bounded queue is full. A registered WaitHook is invoked around the park
+// so the producer can release scheduler resources first; a hook veto or
+// abort pushes past the bound instead of parking. Enqueueing after all
+// producers signaled Done panics — that is always an engine bug.
 func (q *Queue) Process(_ int, e stream.Element) {
 	q.mu.Lock()
 	select {
@@ -288,14 +371,20 @@ func (q *Queue) Process(_ int, e stream.Element) {
 	}
 	for q.bound > 0 && q.n >= q.bound {
 		ch := q.space
+		hook := q.hook
 		q.mu.Unlock()
+		force := q.waitSpace(ch, hook)
+		q.mu.Lock()
 		select {
-		case <-ch:
 		case <-q.poison:
+			q.mu.Unlock()
 			q.dropped.Add(1)
 			return
+		default:
 		}
-		q.mu.Lock()
+		if force {
+			break
+		}
 	}
 	if q.doneProds >= q.producers {
 		q.mu.Unlock()
@@ -327,10 +416,13 @@ func (q *Queue) Process(_ int, e stream.Element) {
 // one lock acquisition per contiguous run of available space — a single
 // one in the common (unbounded or non-full) case — instead of one per
 // element, and coalesces the drainer wakeup into at most one signal per
-// run. On a full bounded queue it enqueues what fits, blocks for space,
-// and continues; poisoning drops the not-yet-enqueued remainder. Element
-// order within the batch is preserved.
+// run. On a full bounded queue it enqueues what fits, blocks for space
+// (cooperating with a registered WaitHook exactly like Process), and
+// continues; poisoning drops the not-yet-enqueued remainder, while a hook
+// veto or abort enqueues it past the bound. Element order within the batch
+// is preserved.
 func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
+	force := false
 	for len(es) > 0 {
 		q.mu.Lock()
 		select {
@@ -340,15 +432,11 @@ func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
 			return
 		default:
 		}
-		if q.bound > 0 && q.n >= q.bound {
+		if !force && q.bound > 0 && q.n >= q.bound {
 			ch := q.space
+			hook := q.hook
 			q.mu.Unlock()
-			select {
-			case <-ch:
-			case <-q.poison:
-				q.dropped.Add(uint64(len(es)))
-				return
-			}
+			force = q.waitSpace(ch, hook)
 			continue
 		}
 		if q.doneProds >= q.producers {
@@ -356,7 +444,7 @@ func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
 			panic(fmt.Sprintf("queue: enqueue into closed queue %q", q.name))
 		}
 		take := len(es)
-		if q.bound > 0 && take > q.bound-q.n {
+		if !force && q.bound > 0 && take > q.bound-q.n {
 			take = q.bound - q.n
 		}
 		wasEmpty := q.n == 0

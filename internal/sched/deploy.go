@@ -38,13 +38,20 @@ type Deployment struct {
 	cut      map[graph.EdgeKey]bool
 	comps    [][]int
 	voOf     map[int]int
-	gates    []*sync.Mutex
+	gates    []*Gate
 	queues   map[graph.EdgeKey]*queue.Queue
 	units    map[int][]*Unit // VO index -> entry units
 	groupOf  []int           // VO index -> executor group
 	nGroups  int
 	execs    []*Exec
+	execOf   map[int]*Exec       // executor group -> executor
 	adapters map[int]*srcAdapter // source node ID -> adapter
+
+	// spliceGid is the goroutine id of a Reconfigure splice in progress
+	// (0 otherwise); the wait hooks let that goroutine push past queue
+	// bounds instead of parking, since every executor is halted during
+	// the splice and nothing could free space.
+	spliceGid atomic.Int64
 
 	started bool
 	stopped atomic.Bool
@@ -58,7 +65,7 @@ type Deployment struct {
 type srcTarget struct {
 	sink op.Sink
 	port int
-	gate *sync.Mutex
+	gate *Gate
 }
 
 // srcAdapter is the Sink handed to a source's Run; it fans elements out to
@@ -238,10 +245,10 @@ func (d *Deployment) analyze(groups [][]int, single bool) error {
 			hasEntry[d.voOf[e.To]] = true
 		}
 	}
-	d.gates = make([]*sync.Mutex, len(d.comps))
+	d.gates = make([]*Gate, len(d.comps))
 	for vi := range d.comps {
 		if nSrc[vi] >= 2 || (nSrc[vi] >= 1 && hasEntry[vi]) {
-			d.gates[vi] = &sync.Mutex{}
+			d.gates[vi] = NewGate()
 		}
 	}
 	return nil
@@ -282,7 +289,7 @@ func (d *Deployment) wire() {
 		}
 		switch from.Kind {
 		case graph.KindSource:
-			var gate *sync.Mutex
+			var gate *Gate
 			if !d.cut[e.Key()] && to.Kind != graph.KindSink {
 				gate = d.gates[d.voOf[e.To]]
 			}
@@ -331,12 +338,32 @@ func (d *Deployment) buildExecs() {
 	sort.Ints(groups)
 	d.execGen++
 	d.execs = nil
+	d.execOf = make(map[int]*Exec, len(groups))
 	for _, gi := range groups {
 		us := byGroup[gi]
 		sort.Slice(us, func(i, j int) bool { return us[i].Q.Name() < us[j].Q.Name() })
 		prio := d.opts.Priority[gi]
 		x := newExec(fmt.Sprintf("exec-g%d", gi), us, d.opts.strategyFor(gi), d.opts.batch(), d.opts.quantum(), d.ts, prio, &d.world, d.fail)
 		d.execs = append(d.execs, x)
+		d.execOf[gi] = x
+	}
+	d.wireHooks()
+}
+
+// wireHooks installs a cooperative-blocking hook on every decoupling
+// queue, bound to the queue's producing side: the executor of the group
+// that drains the producing partition when there is one, otherwise the
+// source goroutines pushing directly (see coop.go). Re-run after every
+// buildExecs — group assignments move under SwitchGroups/Reconfigure. A
+// producer already parked keeps the hook it yielded through (the queue
+// snapshots it per park); old executors stay valid resume targets.
+func (d *Deployment) wireHooks() {
+	for k, q := range d.queues {
+		var x *Exec
+		if from := d.g.Node(k.From); from.Kind != graph.KindSource {
+			x = d.execOf[d.groupOf[d.voOf[k.From]]]
+		}
+		q.SetWaitHook(&pushHook{d: d, x: x})
 	}
 }
 

@@ -174,14 +174,18 @@ func TestSwitchGroupsRejectsCutChange(t *testing.T) {
 	}
 }
 
-func TestReconfigureRejectsBoundedQueues(t *testing.T) {
+func TestReconfigureAcceptsBoundedQueues(t *testing.T) {
+	// Cooperative blocking (coop.go) lifted the old "Reconfigure requires
+	// unbounded queues" refusal; re-cutting a bounded deployment — here
+	// before Start, the degenerate splice — must succeed, and inserted
+	// queues must inherit the deployment bound.
 	g, _ := chainGraph(10)
 	d, err := Build(g, GTS(g), Options{QueueBound: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Reconfigure(OTS(g), ""); err == nil {
-		t.Fatal("Reconfigure with bounded queues must be rejected")
+	if err := d.Reconfigure(OTS(g), ""); err != nil {
+		t.Fatalf("Reconfigure with bounded queues: %v", err)
 	}
 }
 

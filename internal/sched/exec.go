@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/dsms/hmts/internal/queue"
 	"github.com/dsms/hmts/internal/stream"
 )
 
@@ -40,8 +41,22 @@ type Exec struct {
 	// replacing the old O(n) all-closed rescan.
 	open atomic.Int32
 
-	stop chan struct{}
-	done chan struct{}
+	// Cooperative-blocking state (see coop.go). gid is the executor
+	// goroutine's id, published so the wait hook can tell the executor's
+	// own pushes apart from a fused source pushing through the same
+	// partition. owns is the set of queues this executor drains: a push
+	// into one of them from this executor's own goroutine must never park
+	// (producer == consumer), it overshoots the bound instead. permit and
+	// holdsWorld are owned by the executor goroutine and back the
+	// lock-order assertions on the yield paths.
+	gid        atomic.Int64
+	owns       map[*queue.Queue]struct{}
+	permit     bool
+	holdsWorld bool
+
+	launched atomic.Bool
+	stop     chan struct{}
+	done     chan struct{}
 
 	// onFail receives the panic value if an operator blows up while this
 	// executor drives it; the deployment fail-stops the whole graph.
@@ -74,6 +89,10 @@ func newExec(name string, units []*Unit, strat Strategy, batch int, quantum time
 	if ts != nil {
 		x.proc = &Proc{Name: name}
 		x.proc.SetPriority(prio)
+	}
+	x.owns = make(map[*queue.Queue]struct{}, len(units))
+	for _, u := range units {
+		x.owns[u.Q] = struct{}{}
 	}
 	for i, u := range units {
 		if !u.closed {
@@ -135,16 +154,22 @@ func (x *Exec) Proc() *Proc { return x.proc }
 func (x *Exec) Processed() uint64 { return x.processed.Load() }
 
 // start launches the executor goroutine.
-func (x *Exec) start() { go x.run() }
+func (x *Exec) start() {
+	x.launched.Store(true)
+	go x.run()
+}
 
 // halt asks the executor to exit after its current batch and waits for it.
+// An executor that was never started has no goroutine to collect.
 func (x *Exec) halt() {
 	select {
 	case <-x.stop:
 	default:
 		close(x.stop)
 	}
-	<-x.done
+	if x.launched.Load() {
+		<-x.done
+	}
 }
 
 // wait blocks until the executor exits on its own (all units closed).
@@ -152,6 +177,7 @@ func (x *Exec) wait() { <-x.done }
 
 func (x *Exec) run() {
 	defer close(x.done)
+	x.gid.Store(goid())
 	for {
 		if x.open.Load() == 0 {
 			return
@@ -165,10 +191,15 @@ func (x *Exec) run() {
 			if !x.ts.Acquire(x.proc, x.stop) {
 				return
 			}
+			x.permit = true
 		}
 		idle := x.runSlice()
-		if x.ts != nil {
+		// The permit may already be gone: a park on a full downstream
+		// queue yields it, and a stop during the park means it was never
+		// reacquired (see resumeFor).
+		if x.ts != nil && x.permit {
 			x.ts.Release(x.proc)
+			x.permit = false
 		}
 		if idle {
 			if x.open.Load() == 0 {
@@ -192,9 +223,11 @@ func (x *Exec) runSlice() bool {
 		default:
 		}
 		x.world.RLock()
+		x.holdsWorld = true
 		x.drainNotify()
 		i := x.strat.Pick()
 		if i < 0 {
+			x.holdsWorld = false
 			x.world.RUnlock()
 			return true
 		}
@@ -207,6 +240,7 @@ func (x *Exec) runSlice() bool {
 				x.strat.Update(i)
 			}
 		}
+		x.holdsWorld = false
 		x.world.RUnlock()
 		x.processed.Add(uint64(n))
 		if err != nil {
@@ -234,7 +268,11 @@ func (x *Exec) runSlice() bool {
 // delivered downstream outside the queue lock.
 func (x *Exec) drain(u *Unit) (n int, open bool, err error) {
 	if u.Gate != nil {
-		u.Gate.Lock()
+		if !x.lockGate(u.Gate) {
+			// stop closed while waiting; report the unit untouched and let
+			// runSlice observe stop.
+			return 0, true, nil
+		}
 		defer u.Gate.Unlock()
 	}
 	defer func() {
@@ -244,6 +282,80 @@ func (x *Exec) drain(u *Unit) (n int, open bool, err error) {
 	}()
 	n, open = u.Q.DrainBatch(x.scratch, x.batch)
 	return n, open, nil
+}
+
+// lockGate acquires a VO entry gate cooperatively: the gate's holder may
+// be a fused source that is itself parked on downstream backpressure, so
+// waiting for it while holding the TS run permit could starve the very
+// partition that would unpark it. If the gate is contended the permit is
+// released for the wait and reacquired afterwards; stop aborts the wait.
+// It reports whether the gate was acquired.
+func (x *Exec) lockGate(g *Gate) bool {
+	if g.TryLock() {
+		return true
+	}
+	if x.ts != nil && x.permit {
+		x.ts.Release(x.proc)
+		x.permit = false
+	}
+	if !g.lockOrStop(x.stop) {
+		return false
+	}
+	if x.ts != nil && !x.permit {
+		if !x.ts.Acquire(x.proc, x.stop) {
+			g.Unlock()
+			return false
+		}
+		x.permit = true
+	}
+	return true
+}
+
+// yieldFor is the executor half of the wait hook (see coop.go): called on
+// the executor's own goroutine when a push into downstream queue q must
+// park for space. It releases the TS run permit and the world read lock —
+// everything the consumer partition and a pending Reconfigure need — and
+// arms the executor's stop channel as the park's abort signal so halting
+// never hangs behind backpressure.
+func (x *Exec) yieldFor(q *queue.Queue) (bool, <-chan struct{}) {
+	if _, mine := x.owns[q]; mine {
+		// Producer and consumer are the same executor (GTS, or a cut edge
+		// internal to one group): parking could never be woken. Overshoot
+		// the bound instead; the strategy drains the queue next.
+		return false, nil
+	}
+	if x.ts != nil && !x.permit {
+		// The permit was already lost to a stop during an earlier park in
+		// this same slice; force the rest of the push through so the slice
+		// can unwind without re-parking.
+		return false, nil
+	}
+	if !x.holdsWorld {
+		panic("sched: lock-order violation: executor parking without the world read lock")
+	}
+	if x.ts != nil {
+		x.ts.Release(x.proc)
+		x.permit = false
+	}
+	x.holdsWorld = false
+	x.world.RUnlock()
+	return true, x.stop
+}
+
+// resumeFor reacquires what yieldFor released, in the documented order:
+// world read lock first, then the TS permit. A stop during reacquisition
+// leaves the executor without a permit; the push completes (past the
+// bound if it was woken by the abort) and runSlice exits at its next stop
+// check, with run() skipping the final Release.
+func (x *Exec) resumeFor(_ *queue.Queue, _ bool) {
+	if x.holdsWorld {
+		panic("sched: lock-order violation: executor resuming with the world read lock held")
+	}
+	x.world.RLock()
+	x.holdsWorld = true
+	if x.ts != nil && !x.permit && x.ts.Acquire(x.proc, x.stop) {
+		x.permit = true
+	}
 }
 
 // waitWork blocks until some unit is ready or stop closes; it returns

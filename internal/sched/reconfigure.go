@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sync"
 
 	"github.com/dsms/hmts/internal/graph"
 	"github.com/dsms/hmts/internal/op"
@@ -108,12 +107,17 @@ func (d *Deployment) refreshUnits() {
 // prescribes ("a queue can be immediately inserted; to remove a queue all
 // remaining elements must be entirely processed before"). Executors are
 // stopped during the splice; sources are paused via the world lock at
-// their next element. Bounded queues must not be in use (a paused producer
-// blocked on a full queue would deadlock the splice).
+// their next element.
+//
+// Bounded queues are supported: parked producers cooperate (coop.go) —
+// halting executors force-flushes their in-flight push past the bound,
+// and a parked source yields its world read lock, so the splice can run
+// past a full queue. Two bound relaxations apply during the splice only:
+// the splice's own drain of removed queues may push past downstream
+// bounds (every executor is halted, nothing else could free space), and a
+// source parked on a queue that is spliced out has its in-flight element
+// dropped and counted when the removed queue is poisoned.
 func (d *Deployment) Reconfigure(plan Plan, strategy string) error {
-	if d.opts.QueueBound > 0 {
-		return fmt.Errorf("sched: Reconfigure requires unbounded queues")
-	}
 	newCut := plan.Cut
 	if newCut == nil {
 		newCut = make(map[graph.EdgeKey]bool)
@@ -129,7 +133,9 @@ func (d *Deployment) Reconfigure(plan Plan, strategy string) error {
 		x.halt()
 	}
 	d.world.Lock()
+	d.spliceGid.Store(goid())
 	defer func() {
+		d.spliceGid.Store(0)
 		d.world.Unlock()
 		if d.started {
 			for _, x := range d.execs {
@@ -154,15 +160,21 @@ func (d *Deployment) Reconfigure(plan Plan, strategy string) error {
 		}
 		delete(d.queues, k)
 		d.spliceUpstream(e, q, directTarget{})
+		// A source parked on this queue (its world read lock yielded) will
+		// wake into an orphaned buffer nobody drains; poison it so the
+		// straggling element is dropped and counted rather than silently
+		// retained. New elements from that source flow through the rewired
+		// direct edge.
+		q.Poison()
 	}
-	// Insert queues on newly cut edges.
+	// Insert queues on newly cut edges, honoring the deployment bound.
 	for _, e := range d.g.Edges() {
 		k := e.Key()
 		if d.cut[k] || !newCut[k] {
 			continue
 		}
 		from, to := d.g.Node(e.From), d.g.Node(e.To)
-		q := queue.New(fmt.Sprintf("q(%s->%s)", from.Name, to.Name), 0)
+		q := queue.New(fmt.Sprintf("q(%s->%s)", from.Name, to.Name), d.opts.QueueBound)
 		q.Subscribe(to.Op, e.ToPort)
 		d.queues[k] = q
 		closedUpstream := d.spliceUpstream(e, nil, directTarget{q: q})
@@ -236,7 +248,7 @@ func (d *Deployment) rewireTargets() {
 			a.targets = append(a.targets, srcTarget{sink: q, port: 0})
 			continue
 		}
-		var gate *sync.Mutex
+		var gate *Gate
 		if to.Kind != graph.KindSink {
 			gate = d.gates[d.voOf[e.To]]
 		}

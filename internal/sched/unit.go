@@ -15,8 +15,6 @@
 package sched
 
 import (
-	"sync"
-
 	"github.com/dsms/hmts/internal/queue"
 )
 
@@ -27,8 +25,8 @@ type Unit struct {
 	Q *queue.Queue
 	// Gate, when non-nil, serializes entry into the virtual operator this
 	// queue feeds; it is shared with any autonomous sources fused into
-	// the same VO.
-	Gate *sync.Mutex
+	// the same VO. Executors acquire it cooperatively (see Exec.lockGate).
+	Gate *Gate
 	// Steepness is the drop rate of the Chain lower-envelope segment the
 	// fed operator belongs to; larger runs first under the Chain strategy.
 	Steepness float64

@@ -116,3 +116,116 @@ func TestKitchenSinkAllModes(t *testing.T) {
 		})
 	}
 }
+
+// TestKitchenSinkBounded reruns the full operator zoo with every
+// decoupling queue bounded: the end-to-end bounded-memory gate. Cross-
+// thread producers must respect the bound exactly (OTS and thread-capped
+// HMTS assert MaxLen <= bound + batch slack for same-executor edges);
+// GTS — where every queue's producer is also its consumer and the bound
+// is deliberately soft — must still complete with correct results.
+func TestKitchenSinkBounded(t *testing.T) {
+	const n = 8000
+	const bound = 64
+	const batch = 16
+	for _, tc := range []struct {
+		mode   hmts.Mode
+		strict bool // cross-executor edges: bound holds exactly
+	}{
+		{hmts.ModeOTS, true},
+		{hmts.ModeHMTS, false}, // grouped VOs share executors: soft intra-group edges
+		{hmts.ModeGTS, false},  // single executor: every edge is self-feed
+	} {
+		tc := tc
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			eng := hmts.New()
+			a := eng.Source("a", hmts.GenerateStamped(n, 1e6, hmts.UniformKeys(0, 63, 1)))
+			b := eng.Source("b", hmts.GenerateStamped(n, 1e6, hmts.UniformKeys(0, 63, 2)))
+			c := eng.Source("c", hmts.GenerateStamped(n, 1e6, hmts.UniformKeys(0, 63, 3)))
+
+			merged := a.Union("merge", b).Reorder("fix", 5*time.Millisecond)
+			clean := merged.
+				Where("drop-zero", func(e hmts.Element) bool { return e.Key != 0 }).
+				Map("tag", func(e hmts.Element) hmts.Element { e.Val += 1; return e }).
+				Project("strip")
+			total := clean.CountSink("total")
+			agg := clean.Aggregate("avg", hmts.Avg, 2*time.Millisecond,
+				func(e hmts.Element) int64 { return e.Key }).CountSink("agg")
+			dedup := clean.Distinct("dedup", time.Hour).CountSink("dedup")
+			joined := clean.Join("join", c, time.Hour, nil).CountSink("join")
+
+			cfg := hmts.RunConfig{Mode: tc.mode, QueueBound: bound, Batch: batch}
+			if tc.mode == hmts.ModeHMTS {
+				cfg.MaxThreads = 2
+			}
+			eng.MustRun(cfg)
+			done := make(chan struct{})
+			go func() { eng.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("bounded kitchen sink deadlocked")
+			}
+			for name, s := range map[string]*hmts.Counter{
+				"total": total, "agg": agg, "dedup": dedup, "join": joined,
+			} {
+				c := make(chan struct{})
+				go func() { s.Wait(); close(c) }()
+				select {
+				case <-c:
+				case <-time.After(30 * time.Second):
+					t.Fatalf("sink %q never completed", name)
+				}
+			}
+			if err := eng.Err(); err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+
+			wantClean := uint64(0)
+			for _, seed := range []uint64{1, 2} {
+				gen := hmts.UniformKeys(0, 63, seed)
+				for i := 0; i < n; i++ {
+					if gen(i).Key != 0 {
+						wantClean++
+					}
+				}
+			}
+			if total.Count() != wantClean {
+				t.Fatalf("total = %d, want %d", total.Count(), wantClean)
+			}
+			if agg.Count() != wantClean {
+				t.Fatalf("agg = %d, want %d", agg.Count(), wantClean)
+			}
+			if dedup.Count() != 63 {
+				t.Fatalf("dedup = %d, want 63", dedup.Count())
+			}
+			if joined.Count() == 0 {
+				t.Fatal("join produced nothing")
+			}
+
+			limit := bound
+			if !tc.strict {
+				// Same-executor pushes overshoot by at most one transfer
+				// batch before the executor turns around and drains.
+				limit = bound + batch
+			}
+			m := eng.Metrics()
+			if tc.mode != hmts.ModeGTS {
+				for _, q := range m.Queues {
+					if q.MaxLen > limit {
+						t.Errorf("queue %s MaxLen %d exceeds %d (bound %d)",
+							q.Name, q.MaxLen, limit, bound)
+					}
+				}
+			}
+			stalled := false
+			for _, q := range m.Queues {
+				if q.FullBlocks > 0 {
+					stalled = true
+				}
+			}
+			if !stalled {
+				t.Log("note: bounded run never filled a queue")
+			}
+		})
+	}
+}

@@ -21,12 +21,14 @@ type OpMetrics struct {
 
 // QueueMetrics is a snapshot of one decoupling queue.
 type QueueMetrics struct {
-	Name     string
-	Len      int
-	MaxLen   int
-	Enqueued uint64
-	Dequeued uint64
-	Closed   bool
+	Name       string
+	Len        int
+	MaxLen     int
+	Enqueued   uint64
+	Dequeued   uint64
+	FullBlocks uint64 // times a producer parked on this queue full
+	BlockedNS  int64  // cumulative nanoseconds producers spent parked
+	Closed     bool
 }
 
 // IngestMetrics is a snapshot of one external source's ingress buffer.
@@ -98,12 +100,14 @@ func (e *Engine) Metrics() Metrics {
 	if e.d != nil {
 		for _, q := range e.d.Queues() {
 			m.Queues = append(m.Queues, QueueMetrics{
-				Name:     q.Name(),
-				Len:      q.Len(),
-				MaxLen:   q.MaxLen(),
-				Enqueued: q.Enqueued(),
-				Dequeued: q.Dequeued(),
-				Closed:   q.Closed(),
+				Name:       q.Name(),
+				Len:        q.Len(),
+				MaxLen:     q.MaxLen(),
+				Enqueued:   q.Enqueued(),
+				Dequeued:   q.Dequeued(),
+				FullBlocks: q.FullBlocks(),
+				BlockedNS:  q.BlockedNS(),
+				Closed:     q.Closed(),
 			})
 		}
 		m.VOs = e.d.VOs()
@@ -121,8 +125,8 @@ func (m Metrics) String() string {
 	}
 	b.WriteString("queues:\n")
 	for _, q := range m.Queues {
-		fmt.Fprintf(&b, "  %-28s len=%-8d max=%-8d enq=%-10d deq=%-10d closed=%v\n",
-			q.Name, q.Len, q.MaxLen, q.Enqueued, q.Dequeued, q.Closed)
+		fmt.Fprintf(&b, "  %-28s len=%-8d max=%-8d enq=%-10d deq=%-10d blocks=%-8d blockedms=%-8d closed=%v\n",
+			q.Name, q.Len, q.MaxLen, q.Enqueued, q.Dequeued, q.FullBlocks, q.BlockedNS/1e6, q.Closed)
 	}
 	if len(m.Ingest) > 0 {
 		b.WriteString("ingest:\n")
