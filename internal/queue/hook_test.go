@@ -75,6 +75,9 @@ func TestHookVetoOvershootsBound(t *testing.T) {
 	if q.FullBlocks() != 0 {
 		t.Fatalf("FullBlocks = %d, want 0 (never parked)", q.FullBlocks())
 	}
+	if q.Overshoot() != 3 {
+		t.Fatalf("Overshoot = %d, want 3 (one per over-bound push)", q.Overshoot())
+	}
 }
 
 // TestHookAbortForcesPush: an abort wake must complete the push past the
@@ -100,6 +103,9 @@ func TestHookAbortForcesPush(t *testing.T) {
 	}
 	if q.Len() != 2 {
 		t.Fatalf("Len = %d, want 2 (abort force-pushes past bound)", q.Len())
+	}
+	if q.Overshoot() != 1 {
+		t.Fatalf("Overshoot = %d, want 1 (the forced element)", q.Overshoot())
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -169,6 +175,9 @@ func TestHookBatchRemainderForced(t *testing.T) {
 	if q.Len() != 10 {
 		t.Fatalf("Len = %d, want all 10 (remainder forced past bound)", q.Len())
 	}
+	if q.Overshoot() != 8 {
+		t.Fatalf("Overshoot = %d, want 8 (whole remainder past bound 2)", q.Overshoot())
+	}
 	yields, resumes := h.counts()
 	if yields != 1 || resumes != 1 {
 		t.Fatalf("yields=%d resumes=%d, want 1/1 (no re-park after abort)", yields, resumes)
@@ -213,6 +222,9 @@ func TestHookCountersUnderDrain(t *testing.T) {
 	}
 	if uint64(yields) != q.FullBlocks() {
 		t.Fatalf("yields=%d but FullBlocks=%d", yields, q.FullBlocks())
+	}
+	if q.Overshoot() != 0 {
+		t.Fatalf("Overshoot = %d, want 0 (space wakes never breach the bound)", q.Overshoot())
 	}
 }
 

@@ -31,9 +31,11 @@ import (
 // is not called. With park=true the producer blocks on space/poison/abort;
 // abort (may be nil) is an additional wake channel — typically the owner's
 // stop signal — and a wake through it also forces the push past the bound
-// so no element is lost when an executor is halted mid-push. After the
-// park ends for any reason, Resume is called exactly once (same goroutine)
-// to reacquire whatever Yield released; aborted reports an abort wake.
+// so no element is lost when an executor is halted mid-push: one element
+// on the Process path, the whole remaining batch on the ProcessBatch
+// path. Either overshoot is metered by Overshoot. After the park ends for
+// any reason, Resume is called exactly once (same goroutine) to reacquire
+// whatever Yield released; aborted reports an abort wake.
 type WaitHook interface {
 	Yield(q *Queue) (park bool, abort <-chan struct{})
 	Resume(q *Queue, aborted bool)
@@ -77,9 +79,10 @@ type Queue struct {
 	gLen     atomic.Int64
 	gFlags   atomic.Uint32
 
-	enq, deq atomic.Uint64
-	maxLen   atomic.Int64
-	dropped  atomic.Uint64
+	enq, deq  atomic.Uint64
+	maxLen    atomic.Int64
+	dropped   atomic.Uint64
+	overshoot atomic.Uint64
 
 	// Backpressure stall counters: how often a producer parked on a full
 	// queue and the cumulative nanoseconds spent parked (including the
@@ -159,6 +162,16 @@ func (q *Queue) FullBlocks() uint64 { return q.fullBlocks.Load() }
 // BlockedNS returns the cumulative nanoseconds producers spent parked on
 // this queue full.
 func (q *Queue) BlockedNS() int64 { return q.blockedNS.Load() }
+
+// Overshoot returns how many elements were enqueued past the bound: by a
+// hook veto (producer and consumer are the same thread), by an abort wake
+// (a producer halted mid-push force-flushes its in-flight element — or,
+// on the batch path, its whole remaining batch), or by teardown paths
+// that must not park. It is the observable measure of how soft the bound
+// has been in practice; FullBlocks/BlockedNS count only actual parks, so
+// without this counter veto/abort bound violations would be invisible to
+// metrics.
+func (q *Queue) Overshoot() uint64 { return q.overshoot.Load() }
 
 // waitSpace parks the calling producer until space frees, the queue is
 // poisoned, or the hook's abort channel fires, invoking the hook around
@@ -390,6 +403,9 @@ func (q *Queue) Process(_ int, e stream.Element) {
 		q.mu.Unlock()
 		panic(fmt.Sprintf("queue: enqueue into closed queue %q", q.name))
 	}
+	if q.bound > 0 && q.n >= q.bound {
+		q.overshoot.Add(1)
+	}
 	q.push(e)
 	wasEmpty := q.n == 1
 	if int64(q.n) > q.maxLen.Load() {
@@ -419,8 +435,11 @@ func (q *Queue) Process(_ int, e stream.Element) {
 // run. On a full bounded queue it enqueues what fits, blocks for space
 // (cooperating with a registered WaitHook exactly like Process), and
 // continues; poisoning drops the not-yet-enqueued remainder, while a hook
-// veto or abort enqueues it past the bound. Element order within the batch
-// is preserved.
+// veto or abort enqueues the entire remainder past the bound — an
+// overshoot of up to len(es) elements, so a batch producer halted
+// mid-push loses nothing. Overshot elements are counted in Overshoot so
+// the bound violation is visible to metrics. Element order within the
+// batch is preserved.
 func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
 	force := false
 	for len(es) > 0 {
@@ -446,6 +465,12 @@ func (q *Queue) ProcessBatch(_ int, es []stream.Element) {
 		take := len(es)
 		if !force && q.bound > 0 && take > q.bound-q.n {
 			take = q.bound - q.n
+		}
+		if over := q.n + take - q.bound; q.bound > 0 && over > 0 {
+			if over > take {
+				over = take
+			}
+			q.overshoot.Add(uint64(over))
 		}
 		wasEmpty := q.n == 0
 		for _, e := range es[:take] {

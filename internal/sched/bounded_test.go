@@ -199,6 +199,105 @@ func TestReconfigureWithBoundedQueuesUnderLoad(t *testing.T) {
 	}
 }
 
+// TestReconfigureSourceGateWait is the regression for the source-side
+// gate deadlock: two sources fused into one gated VO feed a bounded
+// queue whose consumer partition is wedged. Source A fills the queue and
+// parks holding the VO entry gate (the wait hook yields its world read
+// lock); source B blocks on the gate. If B kept its read lock across the
+// gate wait, Reconfigure — which has already halted the only consumer —
+// would hang forever in world.Lock() behind it. With cooperative gate
+// acquisition B yields the lock around the wait, the splice runs past
+// the full queue, and B re-resolves its rewired target afterwards.
+func TestReconfigureSourceGateWait(t *testing.T) {
+	const n = 10_000
+	const bound = 4
+	release := make(chan struct{})
+	var entered atomic.Bool
+
+	g := graph.New()
+	s1 := workload.New("s1", n, workload.SeqKeys(), workload.FixedRate{Hz: 1e6}, nil)
+	s2 := workload.New("s2", n, workload.SeqKeys(), workload.FixedRate{Hz: 1e6}, nil)
+	union := op.NewUnion("union", 2)
+	b := op.NewMap("b", func(e stream.Element) stream.Element {
+		if entered.CompareAndSwap(false, true) {
+			<-release // wedge the consumer partition on its first element
+		}
+		return e
+	})
+	c := op.NewMap("c", func(e stream.Element) stream.Element { return e })
+	sink := op.NewCollector(1)
+	n1 := g.AddSource("s1", s1, 1e6)
+	n2 := g.AddSource("s2", s2, 1e6)
+	nu := g.AddOp("union", union, 100, 1)
+	nb := g.AddOp("b", b, 100, 1)
+	nc := g.AddOp("c", c, 100, 1)
+	nk := g.AddSink("out", sink)
+	g.Connect(n1, nu, 0)
+	g.Connect(n2, nu, 1)
+	g.Connect(nu, nb, 0)
+	g.Connect(nb, nc, 0)
+	g.Connect(nc, nk, 0)
+	if err := g.DeriveRates(); err != nil {
+		t.Fatal(err)
+	}
+
+	keyOf := func(from, to *graph.Node) graph.EdgeKey {
+		for _, e := range g.Edges() {
+			if e.From == from.ID && e.To == to.ID {
+				return e.Key()
+			}
+		}
+		t.Fatalf("no edge %s->%s", from.Name, to.Name)
+		return graph.EdgeKey{}
+	}
+	cut0 := map[graph.EdgeKey]bool{keyOf(nu, nb): true}
+	d, err := Build(g, Plan{Cut: cut0}, Options{QueueBound: bound, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qub := d.Queue(keyOf(nu, nb))
+	d.Start()
+
+	// Wait until the consumer is wedged, the fused VO's output queue is
+	// full, and a source has parked on it — it is holding the gate, so the
+	// other source is (or will shortly be) blocked on the gate.
+	deadline := time.Now().Add(20 * time.Second)
+	for !(entered.Load() && qub.Len() >= bound && qub.FullBlocks() > 0) {
+		if time.Now().After(deadline) {
+			t.Fatalf("setup never reached the parked state: entered=%v len=%d blocks=%d",
+				entered.Load(), qub.Len(), qub.FullBlocks())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	newCut := map[graph.EdgeKey]bool{keyOf(nb, nc): true}
+	errc := make(chan error, 1)
+	go func() { errc <- d.Reconfigure(Plan{Cut: newCut}, "") }()
+	time.Sleep(10 * time.Millisecond) // let Reconfigure reach the halt
+	close(release)                    // un-wedge the consumer
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("reconfigure: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("reconfigure deadlocked behind a source blocked on a VO gate")
+	}
+	d.Wait()
+	sink.Wait()
+	got := uint64(len(sink.Elements()))
+	dropped := qub.Dropped()
+	if got+dropped != 2*n {
+		t.Fatalf("sink got %d elements + %d dropped in the splice, want %d total",
+			got, dropped, 2*n)
+	}
+	if q := d.Queue(keyOf(nb, nc)); q == nil {
+		t.Fatal("spliced-in queue missing")
+	} else if q.MaxLen() > bound+8 {
+		t.Fatalf("spliced-in queue MaxLen %d far exceeds bound %d", q.MaxLen(), bound)
+	}
+}
+
 // TestReconfigureSplicePastBlockedProducer is the deterministic splice
 // shape: partition A's executor is parked pushing into partition B's full
 // queue while B is wedged inside a slow operator. Reconfigure must halt

@@ -34,6 +34,17 @@
 // into one partition and nothing the consumer side needs is behind it) —
 // which is why executors must not block *on* a gate while holding a
 // permit either: the holder may be parked on backpressure for a while.
+// For the same reason no thread may block on a gate while holding the
+// world read lock: the holder's park is wakeable only by a consumer or by
+// poison, and a pending Reconfigure — which has already halted every
+// consumer — would wedge behind the waiter's read lock forever. Executors
+// satisfy this structurally: their gate waits select on stop, and
+// Reconfigure halts them before taking the write lock. Source goroutines
+// have no stop channel, so they yield the read lock around a contended
+// gate (srcAdapter.lockTarget) and retake it afterwards — the one place
+// the order inverts (gate, then read lock), safe because the only world
+// writer never acquires gates; a rewire detected across the wait
+// (Deployment.wireGen) drops the stale gate and re-resolves the target.
 package sched
 
 import (
@@ -77,9 +88,11 @@ type Gate struct {
 // NewGate returns an unlocked gate.
 func NewGate() *Gate { return &Gate{ch: make(chan struct{}, 1)} }
 
-// Lock acquires the gate, blocking until it is free. Source threads use
-// this plain form: they hold no TS permit, and the world read lock they
-// do hold is yielded by the wait hook if the VO parks downstream.
+// Lock acquires the gate, blocking until it is free. Callers must not
+// hold the world read lock or a TS permit across the wait: source threads
+// reach this only through srcAdapter.lockTarget, which yields the read
+// lock first (the holder may be parked on backpressure, wakeable only by
+// a consumer that a pending Reconfigure has already halted).
 func (g *Gate) Lock() { g.ch <- struct{}{} }
 
 // TryLock acquires the gate only if it is free.

@@ -53,6 +53,12 @@ type Deployment struct {
 	// the splice and nothing could free space.
 	spliceGid atomic.Int64
 
+	// wireGen counts rewireTargets passes (written under world.Lock, read
+	// under world.RLock). A source that yielded its read lock around a
+	// contended gate wait compares it afterwards to detect that a splice
+	// rewired its targets while it waited (see srcAdapter.lockTarget).
+	wireGen uint64
+
 	started bool
 	stopped atomic.Bool
 	srcWG   sync.WaitGroup
@@ -77,19 +83,51 @@ type srcAdapter struct {
 	finished atomic.Bool
 }
 
+// lockTarget returns the target of the source's i'th out-edge with its VO
+// gate (if any) held. A contended gate is acquired cooperatively: the
+// holder may itself be parked on downstream backpressure with its world
+// read lock yielded — wakeable only by space or poison — so blocking on
+// the gate while still holding our own read lock would wedge a pending
+// Reconfigure (its world.Lock waits behind us, every executor is already
+// halted, and nothing left could free the space). The read lock is
+// yielded around the wait and retaken after; that inverted reacquisition
+// (gate, then read lock) cannot deadlock because the only world writer
+// never takes gates. If a Reconfigure rewired the sources while we
+// waited, the acquired gate belongs to a stale target — the edge may have
+// gained a queue, the VO's gate may have been replaced — so it is dropped
+// and the same edge's target re-resolved: rewireTargets keeps targets in
+// g.Edges() order and edges never change, so index i always denotes the
+// same graph edge.
+func (a *srcAdapter) lockTarget(i int) *srcTarget {
+	for {
+		t := &a.targets[i]
+		if t.gate == nil || t.gate.TryLock() {
+			return t
+		}
+		gen := a.d.wireGen
+		a.d.world.RUnlock()
+		t.gate.Lock()
+		a.d.world.RLock()
+		if a.d.wireGen == gen {
+			return t
+		}
+		t.gate.Unlock()
+	}
+}
+
 // Process implements op.Sink. Locks are released via defer so that a
 // panicking operator cannot leak the world lock or a VO gate.
 func (a *srcAdapter) Process(_ int, e stream.Element) {
 	a.d.world.RLock()
 	defer a.d.world.RUnlock()
 	for i := range a.targets {
-		deliverTo(&a.targets[i], e)
+		a.deliverTo(i, e)
 	}
 }
 
-func deliverTo(t *srcTarget, e stream.Element) {
+func (a *srcAdapter) deliverTo(i int, e stream.Element) {
+	t := a.lockTarget(i)
 	if t.gate != nil {
-		t.gate.Lock()
 		defer t.gate.Unlock()
 	}
 	t.sink.Process(t.port, e)
@@ -103,13 +141,13 @@ func (a *srcAdapter) ProcessBatch(_ int, es []stream.Element) {
 	a.d.world.RLock()
 	defer a.d.world.RUnlock()
 	for i := range a.targets {
-		deliverBatchTo(&a.targets[i], es)
+		a.deliverBatchTo(i, es)
 	}
 }
 
-func deliverBatchTo(t *srcTarget, es []stream.Element) {
+func (a *srcAdapter) deliverBatchTo(i int, es []stream.Element) {
+	t := a.lockTarget(i)
 	if t.gate != nil {
-		t.gate.Lock()
 		defer t.gate.Unlock()
 	}
 	if bs, ok := t.sink.(op.BatchSink); ok {
@@ -127,13 +165,13 @@ func (a *srcAdapter) Done(int) {
 	defer a.d.world.RUnlock()
 	a.finished.Store(true)
 	for i := range a.targets {
-		doneTo(&a.targets[i])
+		a.doneTo(i)
 	}
 }
 
-func doneTo(t *srcTarget) {
+func (a *srcAdapter) doneTo(i int) {
+	t := a.lockTarget(i)
 	if t.gate != nil {
-		t.gate.Lock()
 		defer t.gate.Unlock()
 	}
 	t.sink.Done(t.port)

@@ -112,7 +112,12 @@ func (d *Deployment) refreshUnits() {
 // Bounded queues are supported: parked producers cooperate (coop.go) —
 // halting executors force-flushes their in-flight push past the bound,
 // and a parked source yields its world read lock, so the splice can run
-// past a full queue. Two bound relaxations apply during the splice only:
+// past a full queue. A source blocked on a VO entry gate (whose holder
+// may be such a parked source) likewise yields its read lock around the
+// wait and re-resolves its target afterwards, since the splice may have
+// moved the edge's queue placement or replaced the gate (see
+// srcAdapter.lockTarget). Two bound relaxations apply during the splice
+// only:
 // the splice's own drain of removed queues may push past downstream
 // bounds (every executor is halted, nothing else could free space), and a
 // source parked on a queue that is spliced out has its in-flight element
@@ -233,8 +238,13 @@ func downstreamSink(n *graph.Node) op.Sink {
 }
 
 // rewireTargets recomputes every source adapter's resolved targets from
-// the current cut and gates. Caller holds the world write lock.
+// the current cut and gates. Caller holds the world write lock. Targets
+// are rebuilt in g.Edges() order, so a source edge keeps its index across
+// rewires — the invariant lockTarget's stale-target re-resolution relies
+// on. wireGen is bumped so a source that yielded its read lock around a
+// gate wait can detect the rewire.
 func (d *Deployment) rewireTargets() {
+	d.wireGen++
 	for _, n := range d.g.Sources() {
 		d.adapters[n.ID].targets = nil
 	}

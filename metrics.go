@@ -28,6 +28,7 @@ type QueueMetrics struct {
 	Dequeued   uint64
 	FullBlocks uint64 // times a producer parked on this queue full
 	BlockedNS  int64  // cumulative nanoseconds producers spent parked
+	Overshoot  uint64 // elements enqueued past the bound (veto/abort/teardown)
 	Closed     bool
 }
 
@@ -107,6 +108,7 @@ func (e *Engine) Metrics() Metrics {
 				Dequeued:   q.Dequeued(),
 				FullBlocks: q.FullBlocks(),
 				BlockedNS:  q.BlockedNS(),
+				Overshoot:  q.Overshoot(),
 				Closed:     q.Closed(),
 			})
 		}
@@ -125,8 +127,8 @@ func (m Metrics) String() string {
 	}
 	b.WriteString("queues:\n")
 	for _, q := range m.Queues {
-		fmt.Fprintf(&b, "  %-28s len=%-8d max=%-8d enq=%-10d deq=%-10d blocks=%-8d blockedms=%-8d closed=%v\n",
-			q.Name, q.Len, q.MaxLen, q.Enqueued, q.Dequeued, q.FullBlocks, q.BlockedNS/1e6, q.Closed)
+		fmt.Fprintf(&b, "  %-28s len=%-8d max=%-8d enq=%-10d deq=%-10d blocks=%-8d blockedms=%-8d over=%-6d closed=%v\n",
+			q.Name, q.Len, q.MaxLen, q.Enqueued, q.Dequeued, q.FullBlocks, q.BlockedNS/1e6, q.Overshoot, q.Closed)
 	}
 	if len(m.Ingest) > 0 {
 		b.WriteString("ingest:\n")
