@@ -1,10 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race saturation bench benchsmoke bounded
+.PHONY: ci vet build test race saturation bench benchsmoke bounded soakshort benchdiff fuzzsmoke
 
 # The gate every PR must pass. benchsmoke compiles and runs every benchmark
-# once so a PR cannot rot the measurement harness silently.
-ci: vet build test race saturation benchsmoke bounded
+# once so a PR cannot rot the measurement harness silently; soakshort runs
+# the canonical burst + stall + live-reconfigure soak scenario with SLO
+# assertions; benchdiff re-measures the tracked benchmarks and fails on
+# regressions beyond the tolerance band.
+ci: vet build test race saturation benchsmoke bounded soakshort benchdiff
 
 # Covers cmd/ as well as internal/ — ./... is the whole module.
 vet:
@@ -52,3 +55,35 @@ bench:
 # One iteration of every benchmark: a compile-and-smoke pass for ci.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./cmd/hmtsd
+
+# The canonical soak gate: ~9 seconds of open-loop bursty load through the
+# external ingest path with a slow-consumer stall, a live mode switch, and
+# a shed cycle, asserting per-second latency/backlog/loss SLOs. Fails the
+# build on any SLO violation or failure to drain.
+soakshort:
+	$(GO) run ./cmd/hmtssoak -scenario short
+
+# Perf-regression gate: re-measure the tracked benchmark suites with a
+# short benchtime (two repetitions, min taken) and diff against the
+# committed BENCH_*.json baselines. The tolerance band is wide (see
+# cmd/benchdiff) so CI noise passes but order-of-magnitude regressions and
+# new hot-path allocations fail. Re-baseline with `make bench` after an
+# intentional perf change.
+BENCHDIFF_TIME ?= 0.2s
+BENCHDIFF_FLAGS ?= -q
+benchdiff:
+	@mkdir -p .bench
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./internal/sched | $(GO) run ./cmd/benchjson > .bench/sched.json
+	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./internal/ingest; \
+	  $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./cmd/hmtsd; } | $(GO) run ./cmd/benchjson > .bench/ingest.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./internal/op | $(GO) run ./cmd/benchjson > .bench/ops.json
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_sched.json .bench/sched.json
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ingest.json .bench/ingest.json
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ops.json .bench/ops.json
+
+# Short fuzz pass over the hmtsd line protocol; the corpus keeps growing
+# under cmd/hmtsd/testdata/fuzz as failures are found.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadLine -fuzztime 10s ./cmd/hmtsd
+	$(GO) test -run '^$$' -fuzz FuzzPushParse -fuzztime 10s ./cmd/hmtsd
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s ./cmd/hmtsd

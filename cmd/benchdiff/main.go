@@ -1,0 +1,162 @@
+// Command benchdiff is the performance-regression gate: it compares a
+// fresh benchmark run (as benchjson output) against a committed
+// BENCH_*.json baseline and exits non-zero when any benchmark regresses
+// beyond its tolerance band.
+//
+//	go test -bench . -benchmem ./internal/sched | benchjson > /tmp/cur.json
+//	benchdiff -tol 1.8 BENCH_sched.json /tmp/cur.json
+//
+// Two checks per benchmark present in both files:
+//
+//   - time: current ns/op must stay below baseline * -tol. The default
+//     band is wide on purpose — CI boxes are noisy, and this gate exists
+//     to catch the 3x "accidentally quadratic" or "took a lock on the hot
+//     path" class of regression, not a 5% drift. Sub-30ns baselines are
+//     additionally cushioned by -floor, since a single cache miss can
+//     double them.
+//   - allocs: current allocs/op must stay within baseline*tol + -allocslack.
+//     The absolute slack keeps 0→1 from failing (one incidental
+//     interface boxing), while 0→2+ on a zero-alloc hot path still trips.
+//
+// Benchmarks missing from the current run warn (renames happen; deleting a
+// benchmark should be loud but not fatal), new benchmarks pass silently,
+// and improvements are reported for the log.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/dsms/hmts/internal/benchfmt"
+)
+
+// band is the tolerance configuration for one diff run.
+type band struct {
+	tol        float64 // max current/baseline ns/op ratio
+	floorNS    float64 // baselines below this get the floor added before the ratio check
+	allocSlack int64   // absolute allocs/op increase always allowed
+}
+
+// finding is one per-benchmark comparison outcome.
+type finding struct {
+	name string
+	kind string // "regress-time" | "regress-alloc" | "missing" | "improved" | "new"
+	msg  string
+}
+
+func (f finding) regression() bool {
+	return f.kind == "regress-time" || f.kind == "regress-alloc"
+}
+
+// compare diffs current against baseline under b. Findings come back
+// sorted by name, regressions first, so output order is deterministic.
+func compare(baseline, current map[string]benchfmt.Result, b band) []finding {
+	var out []finding
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			out = append(out, finding{name, "missing",
+				fmt.Sprintf("missing  %s: in baseline but not in this run", name)})
+			continue
+		}
+		// Time band. The floor absorbs fixed measurement noise on
+		// nanosecond-scale benches where a ratio alone is meaningless.
+		allowed := (base.NsPerOp + b.floorNS) * b.tol
+		switch {
+		case cur.NsPerOp > allowed:
+			out = append(out, finding{name, "regress-time",
+				fmt.Sprintf("REGRESS  %s: %.4g -> %.4g ns/op (%.2fx, allowed %.4g)",
+					name, base.NsPerOp, cur.NsPerOp, cur.NsPerOp/base.NsPerOp, allowed)})
+		case base.NsPerOp > 0 && cur.NsPerOp < base.NsPerOp/b.tol:
+			out = append(out, finding{name, "improved",
+				fmt.Sprintf("improved %s: %.4g -> %.4g ns/op (%.2fx)",
+					name, base.NsPerOp, cur.NsPerOp, cur.NsPerOp/base.NsPerOp)})
+		}
+		// Alloc band, only when both runs measured allocations.
+		if base.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+			maxAllocs := int64(float64(*base.AllocsPerOp)*b.tol) + b.allocSlack
+			if *cur.AllocsPerOp > maxAllocs {
+				out = append(out, finding{name, "regress-alloc",
+					fmt.Sprintf("REGRESS  %s: %d -> %d allocs/op (allowed %d)",
+						name, *base.AllocsPerOp, *cur.AllocsPerOp, maxAllocs)})
+			}
+		}
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			out = append(out, finding{name, "new",
+				fmt.Sprintf("new      %s: no baseline, skipping", name)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ri, rj := out[i].regression(), out[j].regression(); ri != rj {
+			return ri
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+func load(path string) (map[string]benchfmt.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchfmt.ReadJSON(f)
+}
+
+func main() {
+	var b band
+	flag.Float64Var(&b.tol, "tol", 2.0, "max allowed current/baseline ns/op ratio")
+	flag.Float64Var(&b.floorNS, "floor", 30, "ns added to the baseline before the ratio check (noise floor for tiny benches)")
+	flag.Int64Var(&b.allocSlack, "allocslack", 1, "absolute allocs/op increase always allowed")
+	quiet := flag.Bool("q", false, "only print regressions and the verdict")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] <baseline.json> <current.json>\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	basePath, curPath := flag.Arg(0), flag.Arg(1)
+	baseline, err := load(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s has no benchmarks\n", basePath)
+		os.Exit(2)
+	}
+
+	findings := compare(baseline, current, b)
+	regressions := 0
+	for _, f := range findings {
+		if f.regression() {
+			regressions++
+			fmt.Println(f.msg)
+		} else if !*quiet {
+			fmt.Println(f.msg)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: FAIL %s vs %s: %d regression(s) beyond tol=%.2gx\n",
+			basePath, curPath, regressions, b.tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok %s vs %s (%d benchmarks within tol=%.2gx)\n",
+		basePath, curPath, len(baseline), b.tol)
+}

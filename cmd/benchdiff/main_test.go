@@ -1,0 +1,102 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/dsms/hmts/internal/benchfmt"
+)
+
+func res(ns float64, allocs int64) benchfmt.Result {
+	return benchfmt.Result{Iterations: 1000, NsPerOp: ns, AllocsPerOp: &allocs}
+}
+
+func kinds(fs []finding) map[string]string {
+	out := make(map[string]string)
+	for _, f := range fs {
+		// Regressions outrank the informational kinds for the same name.
+		if prev, ok := out[f.name]; !ok || (!finding{f.name, prev, ""}.regression() && f.regression()) {
+			out[f.name] = f.kind
+		}
+	}
+	return out
+}
+
+func TestCompare(t *testing.T) {
+	b := band{tol: 2.0, floorNS: 30, allocSlack: 1}
+	baseline := map[string]benchfmt.Result{
+		"BenchmarkFast":    res(10, 0),
+		"BenchmarkSlow":    res(100_000, 4),
+		"BenchmarkGone":    res(500, 1),
+		"BenchmarkBetter":  res(10_000, 2),
+		"BenchmarkAllocUp": res(1_000, 0),
+	}
+	current := map[string]benchfmt.Result{
+		// 10 -> 70 ns is 7x, but under (10+30)*2: the noise floor protects
+		// nanosecond-scale benches from ratio-only judgments.
+		"BenchmarkFast": res(70, 0),
+		// A genuine 3x regression on a macro bench.
+		"BenchmarkSlow": res(300_000, 4),
+		// 3x faster: reported as an improvement, never a failure.
+		"BenchmarkBetter": res(3_000, 2),
+		// 0 -> 3 allocs: beyond 0*tol + slack(1).
+		"BenchmarkAllocUp": res(1_000, 3),
+		// No baseline entry.
+		"BenchmarkNew": res(50, 0),
+	}
+	got := kinds(compare(baseline, current, b))
+	want := map[string]string{
+		"BenchmarkSlow":    "regress-time",
+		"BenchmarkGone":    "missing",
+		"BenchmarkBetter":  "improved",
+		"BenchmarkAllocUp": "regress-alloc",
+		"BenchmarkNew":     "new",
+	}
+	for name, k := range want {
+		if got[name] != k {
+			t.Errorf("%s: kind %q, want %q", name, got[name], k)
+		}
+	}
+	if _, flagged := got["BenchmarkFast"]; flagged {
+		t.Errorf("BenchmarkFast flagged as %q; the noise floor should absorb it", got["BenchmarkFast"])
+	}
+}
+
+func TestCompareIdenticalIsClean(t *testing.T) {
+	m := map[string]benchfmt.Result{
+		"BenchmarkA": res(100, 2),
+		"BenchmarkB": res(5_000, 0),
+	}
+	for _, f := range compare(m, m, band{tol: 2.0, floorNS: 30, allocSlack: 1}) {
+		t.Errorf("identical runs produced finding: %+v", f)
+	}
+}
+
+func TestCompareOrdersRegressionsFirst(t *testing.T) {
+	baseline := map[string]benchfmt.Result{
+		"BenchmarkA": res(1_000, 0), // will go missing
+		"BenchmarkZ": res(1_000, 0), // will regress
+	}
+	current := map[string]benchfmt.Result{
+		"BenchmarkZ": res(10_000, 0),
+	}
+	fs := compare(baseline, current, band{tol: 2.0, floorNS: 30, allocSlack: 1})
+	if len(fs) != 2 || !fs[0].regression() || fs[0].name != "BenchmarkZ" {
+		t.Fatalf("regressions must sort first: %+v", fs)
+	}
+}
+
+// TestCompareMissingAllocColumn: a baseline recorded without -benchmem
+// must not fault the alloc check.
+func TestCompareMissingAllocColumn(t *testing.T) {
+	baseline := map[string]benchfmt.Result{
+		"BenchmarkNoMem": {Iterations: 10, NsPerOp: 1_000_000},
+	}
+	current := map[string]benchfmt.Result{
+		"BenchmarkNoMem": res(1_000_000, 99),
+	}
+	for _, f := range compare(baseline, current, band{tol: 2.0, floorNS: 30, allocSlack: 1}) {
+		if f.regression() {
+			t.Fatalf("alloc check ran without a baseline column: %+v", f)
+		}
+	}
+}

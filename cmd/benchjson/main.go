@@ -7,114 +7,25 @@
 //	go test -bench . -benchmem ./internal/sched | benchjson > BENCH_sched.json
 //
 // Non-benchmark lines (ok/PASS/goos/pkg headers) pass through to stderr so
-// the terminal still shows the run's summary.
+// the terminal still shows the run's summary. A -count=N run is collapsed
+// to the per-metric minimum across repetitions (see internal/benchfmt).
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"github.com/dsms/hmts/internal/benchfmt"
 )
 
-// result is one benchmark line's measurements. NsPerOp is per reported op;
-// for throughput benches whose op is one element, it is ns/element.
-type result struct {
-	Iterations  int64    `json:"iterations"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
-}
-
 func main() {
-	results := make(map[string]result)
-	var order []string
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		r, name, ok := parseLine(line)
-		if !ok {
-			fmt.Fprintln(os.Stderr, line)
-			continue
-		}
-		if _, dup := results[name]; !dup {
-			order = append(order, name)
-		}
-		results[name] = r
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+	results, order, err := benchfmt.Parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	// Emit in first-seen order via an ordered rendering: a map would be
-	// re-sorted by key and lose the sweep structure of the run.
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	fmt.Fprintln(out, "{")
-	for i, name := range order {
-		b, err := json.Marshal(results[name])
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
-		}
-		comma := ","
-		if i == len(order)-1 {
-			comma = ""
-		}
-		nb, _ := json.Marshal(name)
-		fmt.Fprintf(out, "  %s: %s%s\n", nb, b, comma)
+	if err := benchfmt.WriteJSON(os.Stdout, results, order); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Fprintln(out, "}")
-}
-
-// parseLine recognizes a benchmark result line:
-//
-//	BenchmarkName-8   1000000   1234 ns/op   56 B/op   7 allocs/op
-func parseLine(line string) (result, string, bool) {
-	f := strings.Fields(line)
-	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-		return result{}, "", false
-	}
-	name := f[0]
-	// Strip the -GOMAXPROCS suffix so names are stable across machines.
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	iters, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return result{}, "", false
-	}
-	r := result{Iterations: iters}
-	seen := false
-	for i := 2; i+1 < len(f); i += 2 {
-		v := f[i]
-		switch f[i+1] {
-		case "ns/op":
-			if r.NsPerOp, err = strconv.ParseFloat(v, 64); err == nil {
-				seen = true
-			}
-		case "B/op":
-			if n, e := strconv.ParseInt(v, 10, 64); e == nil {
-				r.BytesPerOp = &n
-			}
-		case "allocs/op":
-			if n, e := strconv.ParseInt(v, 10, 64); e == nil {
-				r.AllocsPerOp = &n
-			}
-		case "MB/s":
-			if m, e := strconv.ParseFloat(v, 64); e == nil {
-				r.MBPerSec = &m
-			}
-		}
-	}
-	if !seen {
-		return result{}, "", false
-	}
-	return r, name, true
 }

@@ -384,29 +384,39 @@ func (s *session) cmdSourceExternal(name string, f []string) {
 	s.send("OK source %s external policy %s", name, ext.Stats().Policy)
 }
 
-// cmdPush parses: <name> <ts> <key> <val>. It is deliberately silent on
-// success — pushers pipeline thousands of lines without reading — and the
-// overload policy decides the fate of an element hitting a full buffer
-// (counted in METRICS, never a protocol error).
-func (s *session) cmdPush(rest string) {
+// parsePush parses the PUSH argument list: <name> <ts> <key> <val>. The
+// name comes back lowercased, ready for the externals lookup. Pure so the
+// fuzz harness can hammer it without a session.
+func parsePush(rest string) (name string, e hmts.Element, err error) {
 	f := strings.Fields(rest)
 	if len(f) != 4 {
-		s.send("ERR PUSH needs: <source> <ts> <key> <val>")
-		return
-	}
-	ext, ok := s.externals[strings.ToLower(f[0])]
-	if !ok {
-		s.send("ERR no external source %q", f[0])
-		return
+		return "", hmts.Element{}, fmt.Errorf("PUSH needs: <source> <ts> <key> <val>")
 	}
 	ts, err1 := strconv.ParseInt(f[1], 10, 64)
 	key, err2 := strconv.ParseInt(f[2], 10, 64)
 	val, err3 := strconv.ParseFloat(f[3], 64)
 	if err1 != nil || err2 != nil || err3 != nil {
-		s.send("ERR PUSH: malformed element %q", rest)
+		return "", hmts.Element{}, fmt.Errorf("PUSH: malformed element %q", rest)
+	}
+	return strings.ToLower(f[0]), hmts.Element{TS: hmts.Time(ts), Key: key, Val: val}, nil
+}
+
+// cmdPush is deliberately silent on success — pushers pipeline thousands
+// of lines without reading — and the overload policy decides the fate of
+// an element hitting a full buffer (counted in METRICS, never a protocol
+// error).
+func (s *session) cmdPush(rest string) {
+	name, e, err := parsePush(rest)
+	if err != nil {
+		s.send("ERR %v", err)
 		return
 	}
-	ext.Push(hmts.Element{TS: hmts.Time(ts), Key: key, Val: val})
+	ext, ok := s.externals[name]
+	if !ok {
+		s.send("ERR no external source %q", name)
+		return
+	}
+	ext.Push(e)
 }
 
 // frameRecordSize is the wire size of one PUSHB record: ts int64, key
@@ -416,18 +426,43 @@ const frameRecordSize = 24
 // maxFrameCount bounds one PUSHB frame (<= 24MB of payload).
 const maxFrameCount = 1 << 20
 
+// parseFrameHeader parses the PUSHB argument list <source> <count> and
+// bounds the count so a hostile header cannot size an arbitrary
+// allocation. Pure so the fuzz harness can hammer it without a session.
+func parseFrameHeader(rest string) (name string, count int, err error) {
+	f := strings.Fields(rest)
+	if len(f) != 2 {
+		return "", 0, fmt.Errorf("PUSHB needs: <source> <count>")
+	}
+	count, err = strconv.Atoi(f[1])
+	if err != nil || count < 0 || count > maxFrameCount {
+		return "", 0, fmt.Errorf("PUSHB: bad count %q", f[1])
+	}
+	return strings.ToLower(f[0]), count, nil
+}
+
+// decodeFrame decodes len(els) binary records from buf into els. buf must
+// hold at least len(els)*frameRecordSize bytes — the caller sized both
+// from the same validated count.
+func decodeFrame(buf []byte, els []hmts.Element) {
+	for i := range els {
+		rec := buf[i*frameRecordSize:]
+		els[i] = hmts.Element{
+			TS:  hmts.Time(binary.LittleEndian.Uint64(rec)),
+			Key: int64(binary.LittleEndian.Uint64(rec[8:])),
+			Val: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
+		}
+	}
+}
+
 // cmdPushBatch handles PUSHB <name> <count> plus its binary body. A
 // non-nil error means the connection byte stream is desynced and the
 // session must end; protocol-level problems with an intact stream (unknown
 // source, full buffer) are reported in-band instead.
 func (s *session) cmdPushBatch(rest string) error {
-	f := strings.Fields(rest)
-	if len(f) != 2 {
-		return fmt.Errorf("PUSHB needs: <source> <count>")
-	}
-	count, err := strconv.Atoi(f[1])
-	if err != nil || count < 0 || count > maxFrameCount {
-		return fmt.Errorf("PUSHB: bad count %q", f[1])
+	name, count, err := parseFrameHeader(rest)
+	if err != nil {
+		return err
 	}
 	need := count * frameRecordSize
 	if cap(s.frameBuf) < need {
@@ -437,24 +472,17 @@ func (s *session) cmdPushBatch(rest string) error {
 	if _, err := io.ReadFull(s.r, buf); err != nil {
 		return fmt.Errorf("PUSHB: short frame: %v", err)
 	}
-	ext, ok := s.externals[strings.ToLower(f[0])]
+	ext, ok := s.externals[name]
 	if !ok {
 		// The frame was consumed, so the stream stays in sync.
-		s.send("ERR no external source %q", f[0])
+		s.send("ERR no external source %q", name)
 		return nil
 	}
 	if cap(s.frameEls) < count {
 		s.frameEls = make([]hmts.Element, count)
 	}
 	els := s.frameEls[:count]
-	for i := range els {
-		rec := buf[i*frameRecordSize:]
-		els[i] = hmts.Element{
-			TS:  hmts.Time(binary.LittleEndian.Uint64(rec)),
-			Key: int64(binary.LittleEndian.Uint64(rec[8:])),
-			Val: math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
-		}
-	}
+	decodeFrame(buf, els)
 	accepted := ext.PushBatch(els)
 	s.send("OK %d %d", accepted, count-accepted)
 	return nil

@@ -7,12 +7,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/dsms/hmts/internal/testutil"
 )
 
 // startServer runs the accept loop on an ephemeral port and returns the
-// address.
+// address. Every server test doubles as a goroutine-leak check: after the
+// listener and client connections close, each session's engine, external
+// sources and flusher must have stopped.
 func startServer(t *testing.T) string {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)

@@ -1,0 +1,65 @@
+// Command hmtssoak runs soak scenarios against the engine: open-loop load
+// with configurable rate shapes and zipf-keyed streams pushed through the
+// external ingest path, mid-run fault injection (slow consumers, cost
+// spikes, live mode switches, shedding), a per-second report of
+// end-to-end latency percentiles (p50/p90/p99/max), throughput, drops and
+// queue depth, and declarative SLO assertions that turn the run into a
+// pass/fail check.
+//
+//	hmtssoak -list                 # catalog with descriptions and SLOs
+//	hmtssoak -scenario short       # the CI gate (also: make soakshort)
+//	hmtssoak -scenario burst -duration 2m
+//
+// The exit status is 0 when every SLO held and 1 otherwise, so the runner
+// doubles as a CI gate and a long-haul soak driver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dsms/hmts/internal/soak"
+)
+
+func main() {
+	name := flag.String("scenario", "short", "scenario to run (see -list)")
+	dur := flag.Duration("duration", 0, "override the scenario's load duration")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	flag.Parse()
+
+	catalog := soak.Scenarios()
+	if *list {
+		for _, n := range soak.Names() {
+			sc := catalog[n]
+			fmt.Printf("%-12s %s\n", n, sc.Description)
+			for _, a := range sc.SLOs {
+				fmt.Printf("%-12s   slo: %s\n", "", a)
+			}
+		}
+		return
+	}
+	sc, ok := catalog[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hmtssoak: unknown scenario %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	if *dur > 0 {
+		sc.Duration = *dur
+	}
+
+	start := time.Now()
+	res := soak.Run(sc, os.Stdout)
+	fmt.Printf("scenario %s: %s in %v\n", sc.Name, verdict(res.Passed()), time.Since(start).Round(time.Millisecond))
+	if !res.Passed() {
+		os.Exit(1)
+	}
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

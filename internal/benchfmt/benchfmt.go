@@ -1,0 +1,175 @@
+// Package benchfmt parses `go test -bench` output and reads/writes the
+// BENCH_*.json files the repo tracks benchmark history in. It is shared by
+// cmd/benchjson (text -> JSON) and cmd/benchdiff (JSON vs JSON regression
+// gate), so the two tools can never disagree about the format.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. NsPerOp is per reported op; for
+// throughput benches whose op is one element, it is ns/element.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+// ParseLine recognizes a benchmark result line:
+//
+//	BenchmarkName-8   1000000   1234 ns/op   56 B/op   7 allocs/op
+//
+// It tolerates the format's variants: sub-benchmark names
+// (BenchmarkName/size=4096-8), a missing -benchmem column set, the
+// single-iteration output of -benchtime 1x, and MB/s throughput columns.
+// The trailing -GOMAXPROCS suffix is stripped so names are stable across
+// machines.
+func ParseLine(line string) (Result, string, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, "", false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, "", false
+	}
+	r := Result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v := f[i]
+		switch f[i+1] {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(v, 64); err == nil {
+				seen = true
+			}
+		case "B/op":
+			if n, e := strconv.ParseInt(v, 10, 64); e == nil {
+				r.BytesPerOp = &n
+			}
+		case "allocs/op":
+			if n, e := strconv.ParseInt(v, 10, 64); e == nil {
+				r.AllocsPerOp = &n
+			}
+		case "MB/s":
+			if m, e := strconv.ParseFloat(v, 64); e == nil {
+				r.MBPerSec = &m
+			}
+		}
+	}
+	if !seen {
+		return Result{}, "", false
+	}
+	return r, name, true
+}
+
+// Parse consumes a whole `go test -bench` run. Non-benchmark lines
+// (ok/PASS/goos/pkg headers) are forwarded to passthru (which may be nil)
+// so a terminal still shows the run's summary. Repeated names — a
+// -count=N run — are merged by keeping the per-metric minimum: the
+// fastest repetition is the least noise-contaminated estimate of the
+// benchmark's true cost, which is what a regression gate should compare.
+// The returned order preserves first appearance.
+func Parse(r io.Reader, passthru io.Writer) (map[string]Result, []string, error) {
+	results := make(map[string]Result)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		res, name, ok := ParseLine(line)
+		if !ok {
+			if passthru != nil {
+				fmt.Fprintln(passthru, line)
+			}
+			continue
+		}
+		prev, dup := results[name]
+		if !dup {
+			order = append(order, name)
+			results[name] = res
+			continue
+		}
+		results[name] = minMerge(prev, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("benchfmt: read: %w", err)
+	}
+	return results, order, nil
+}
+
+// minMerge keeps the per-metric minimum of two repetitions of the same
+// benchmark (and the iteration maximum, the more converged run).
+func minMerge(a, b Result) Result {
+	out := a
+	if b.Iterations > out.Iterations {
+		out.Iterations = b.Iterations
+	}
+	if b.NsPerOp < out.NsPerOp {
+		out.NsPerOp = b.NsPerOp
+	}
+	out.BytesPerOp = minPtr(a.BytesPerOp, b.BytesPerOp)
+	out.AllocsPerOp = minPtr(a.AllocsPerOp, b.AllocsPerOp)
+	if b.MBPerSec != nil && (out.MBPerSec == nil || *b.MBPerSec > *out.MBPerSec) {
+		v := *b.MBPerSec
+		out.MBPerSec = &v // throughput: higher is better
+	}
+	return out
+}
+
+func minPtr(a, b *int64) *int64 {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case *b < *a:
+		return b
+	}
+	return a
+}
+
+// WriteJSON renders the results as the BENCH_*.json format: one object,
+// one line per benchmark, in the given order (a plain json.Marshal of the
+// map would re-sort by key and lose the sweep structure of the run).
+func WriteJSON(w io.Writer, results map[string]Result, order []string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "{")
+	for i, name := range order {
+		b, err := json.Marshal(results[name])
+		if err != nil {
+			return err
+		}
+		comma := ","
+		if i == len(order)-1 {
+			comma = ""
+		}
+		nb, _ := json.Marshal(name)
+		fmt.Fprintf(bw, "  %s: %s%s\n", nb, b, comma)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// ReadJSON loads a BENCH_*.json file.
+func ReadJSON(r io.Reader) (map[string]Result, error) {
+	var out map[string]Result
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseLineVariants(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ok   bool
+		ns   float64
+	}{
+		// Canonical -benchmem line.
+		{"BenchmarkPush-8   1000000   1234 ns/op   56 B/op   7 allocs/op", "BenchmarkPush", true, 1234},
+		// Sub-benchmark with key=value segments.
+		{"BenchmarkStrategyPick/fifo/units=8-16   80050148   14.86 ns/op   0 B/op   0 allocs/op", "BenchmarkStrategyPick/fifo/units=8", true, 14.86},
+		// No -benchmem columns at all.
+		{"BenchmarkScan-4   500   2100000 ns/op", "BenchmarkScan", true, 2100000},
+		// -benchtime 1x: a single iteration, large ns/op, no allocs column.
+		{"BenchmarkColdStart-8   1   981234567 ns/op", "BenchmarkColdStart", true, 981234567},
+		// GOMAXPROCS=1 emits no suffix.
+		{"BenchmarkSolo   2000   800 ns/op", "BenchmarkSolo", true, 800},
+		// Throughput column.
+		{"BenchmarkCopy-8   100   11000 ns/op   745.38 MB/s", "BenchmarkCopy", true, 11000},
+		// Scientific-notation ns/op (very slow benches print this).
+		{"BenchmarkSlow-8   1   1.5e+09 ns/op", "BenchmarkSlow", true, 1.5e9},
+		// Non-benchmark lines.
+		{"ok  \tgithub.com/dsms/hmts/internal/sched\t12.3s", "", false, 0},
+		{"goos: linux", "", false, 0},
+		{"PASS", "", false, 0},
+		{"BenchmarkBroken-8  notanumber  12 ns/op", "", false, 0},
+		{"", "", false, 0},
+	}
+	for _, c := range cases {
+		r, name, ok := ParseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("ParseLine(%q) ok=%v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != c.name || r.NsPerOp != c.ns {
+			t.Errorf("ParseLine(%q) = %q/%v, want %q/%v", c.line, name, r.NsPerOp, c.name, c.ns)
+		}
+	}
+	// Columns land in the right fields.
+	r, _, _ := ParseLine("BenchmarkPush-8   1000000   1234 ns/op   56 B/op   7 allocs/op")
+	if r.BytesPerOp == nil || *r.BytesPerOp != 56 || r.AllocsPerOp == nil || *r.AllocsPerOp != 7 {
+		t.Fatalf("benchmem columns misparsed: %+v", r)
+	}
+	r, _, _ = ParseLine("BenchmarkScan-4   500   2100000 ns/op")
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Fatalf("missing columns must stay nil: %+v", r)
+	}
+}
+
+// TestParseGolden feeds a representative -count=2 run through Parse and
+// checks the exact JSON rendering: repeats collapse to the min, order is
+// first-seen, and non-benchmark lines go to the passthru writer verbatim.
+func TestParseGolden(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: github.com/dsms/hmts/internal/sched",
+		"BenchmarkPush-8   1000000   1500 ns/op   64 B/op   8 allocs/op",
+		"BenchmarkPush-8   1200000   1200 ns/op   56 B/op   7 allocs/op",
+		"BenchmarkPick/fifo-8   80050148   14.86 ns/op   0 B/op   0 allocs/op",
+		"BenchmarkPick/fifo-8   80050148   19.00 ns/op   0 B/op   0 allocs/op",
+		"BenchmarkCold-8   1   981234567 ns/op",
+		"PASS",
+		"ok  \tgithub.com/dsms/hmts/internal/sched\t4.2s",
+	}, "\n")
+
+	var passthru bytes.Buffer
+	results, order, err := Parse(strings.NewReader(in), &passthru)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := WriteJSON(&out, results, order); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "BenchmarkPush": {"iterations":1200000,"ns_per_op":1200,"bytes_per_op":56,"allocs_per_op":7},
+  "BenchmarkPick/fifo": {"iterations":80050148,"ns_per_op":14.86,"bytes_per_op":0,"allocs_per_op":0},
+  "BenchmarkCold": {"iterations":1,"ns_per_op":981234567}
+}
+`
+	if out.String() != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+
+	for _, line := range []string{"goos: linux", "PASS", "ok  \t"} {
+		if !strings.Contains(passthru.String(), line) {
+			t.Errorf("passthru misses %q:\n%s", line, passthru.String())
+		}
+	}
+	if strings.Contains(passthru.String(), "BenchmarkPush") {
+		t.Error("benchmark line leaked into passthru")
+	}
+
+	// Round trip: ReadJSON(WriteJSON(x)) == x.
+	back, err := ReadJSON(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back["BenchmarkPush"].NsPerOp != 1200 || *back["BenchmarkPush"].AllocsPerOp != 7 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back["BenchmarkCold"].AllocsPerOp != nil {
+		t.Fatal("round trip invented an allocs column")
+	}
+}
+
+func TestMinMergeKeepsBestThroughput(t *testing.T) {
+	mb1, mb2 := 100.0, 200.0
+	a := Result{Iterations: 10, NsPerOp: 50, MBPerSec: &mb1}
+	b := Result{Iterations: 20, NsPerOp: 60, MBPerSec: &mb2}
+	m := minMerge(a, b)
+	if m.NsPerOp != 50 || m.Iterations != 20 || *m.MBPerSec != 200 {
+		t.Fatalf("minMerge = %+v", m)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

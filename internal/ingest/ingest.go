@@ -93,6 +93,13 @@ var epoch = time.Now()
 // monotonic clock.
 func monotime() int64 { return int64(time.Since(epoch)) }
 
+// Now exposes the ingress clock: nanoseconds on the same monotonic epoch
+// the buffer stamps zero-timestamp elements with. A pusher that stamps
+// elements itself (to measure end-to-end latency, as the soak harness
+// does) must use this clock so sink-side arrival readings subtract
+// consistently.
+func Now() int64 { return monotime() }
+
 // slot pairs a buffered element with its admission time, so lag is
 // measurable without touching the element's event timestamp.
 type slot struct {

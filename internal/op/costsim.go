@@ -1,6 +1,8 @@
 package op
 
 import (
+	"sync/atomic"
+
 	"github.com/dsms/hmts/internal/simtime"
 	"github.com/dsms/hmts/internal/stream"
 )
@@ -14,7 +16,7 @@ import (
 // executing thread the way an expensive predicate would.
 type CostSim struct {
 	Base
-	costNS int64
+	costNS atomic.Int64
 	pred   func(stream.Element) bool
 }
 
@@ -25,18 +27,29 @@ func NewCostSim(name string, costNS int64, pred func(stream.Element) bool) *Cost
 	if costNS < 0 {
 		panic("op: negative simulated cost")
 	}
-	c := &CostSim{costNS: costNS, pred: pred}
+	c := &CostSim{pred: pred}
+	c.costNS.Store(costNS)
 	c.InitBase(name, 1)
 	return c
 }
 
 // CostNS returns the configured per-element cost in nanoseconds.
-func (c *CostSim) CostNS() int64 { return c.costNS }
+func (c *CostSim) CostNS() int64 { return c.costNS.Load() }
+
+// SetCost changes the simulated per-element cost on a live operator —
+// the soak harness's expensive-operator fault injection. Safe from any
+// goroutine; elements already mid-batch finish at the old cost.
+func (c *CostSim) SetCost(costNS int64) {
+	if costNS < 0 {
+		panic("op: negative simulated cost")
+	}
+	c.costNS.Store(costNS)
+}
 
 // Process implements Sink.
 func (c *CostSim) Process(_ int, e stream.Element) {
 	t := c.BeginWork(e)
-	simtime.Busy(c.costNS)
+	simtime.Busy(c.costNS.Load())
 	if c.pred == nil || c.pred(e) {
 		c.Emit(e)
 	}
@@ -50,7 +63,7 @@ func (c *CostSim) ProcessBatch(_ int, es []stream.Element) {
 		return
 	}
 	t := c.BeginWorkBatch(es)
-	simtime.Busy(c.costNS * int64(len(es)))
+	simtime.Busy(c.costNS.Load() * int64(len(es)))
 	out := c.scratch(len(es))
 	for _, e := range es {
 		if c.pred == nil || c.pred(e) {

@@ -1,9 +1,10 @@
 package sched
 
 import (
-	"runtime"
 	"testing"
 	"time"
+
+	"github.com/dsms/hmts/internal/testutil"
 )
 
 // stopWithin runs d.Stop and fails the test if it does not return in time.
@@ -67,7 +68,7 @@ func TestStopWithPermitHoldingProducer(t *testing.T) {
 // executor goroutine must have exited — including ones that were parked on
 // backpressure or waiting in TS.Acquire when Stop fired.
 func TestStopLeaksNoGoroutines(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	testutil.VerifyNoLeaks(t)
 	for round := 0; round < 3; round++ {
 		g, _ := chainGraph(10_000_000)
 		d, err := Build(g, OTS(g), Options{
@@ -81,20 +82,5 @@ func TestStopLeaksNoGoroutines(t *testing.T) {
 		d.Start()
 		time.Sleep(5 * time.Millisecond)
 		stopWithin(t, d, 10*time.Second, "in goroutine-leak round")
-	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		// A small slack absorbs runtime/test-harness helpers; what we are
-		// after is the ~dozens of source+executor goroutines per round.
-		if n := runtime.NumGoroutine(); n <= baseline+3 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutines leaked after Stop: baseline %d, now %d\n%s",
-				baseline, runtime.NumGoroutine(), buf)
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }

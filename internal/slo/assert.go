@@ -1,0 +1,221 @@
+package slo
+
+import (
+	"fmt"
+	"time"
+)
+
+// Assertion judges a completed per-second series. Check returns nil when
+// the series satisfies the service level and a descriptive error when it
+// does not.
+type Assertion interface {
+	Check(series []Second) error
+	String() string
+}
+
+// Quantile selects which per-second latency statistic an assertion reads.
+type Quantile int
+
+// The per-second latency statistics.
+const (
+	P50 Quantile = iota
+	P90
+	P99
+	PMax
+)
+
+// String names the quantile.
+func (q Quantile) String() string {
+	switch q {
+	case P50:
+		return "p50"
+	case P90:
+		return "p90"
+	case P99:
+		return "p99"
+	case PMax:
+		return "max"
+	}
+	return fmt.Sprintf("Quantile(%d)", int(q))
+}
+
+// read extracts the quantile from a second.
+func (q Quantile) read(s Second) float64 {
+	switch q {
+	case P50:
+		return s.P50
+	case P90:
+		return s.P90
+	case P99:
+		return s.P99
+	default:
+		return s.Max
+	}
+}
+
+// LatencyBelow asserts that a latency quantile stays below a bound in at
+// least Frac of the seconds that carried traffic. Seconds with zero
+// observations are skipped — an injected stall that starves the sink for a
+// second must show up as the latency spike of the following seconds, not
+// divide by zero here.
+type LatencyBelow struct {
+	// Q is the per-second statistic to bound.
+	Q Quantile
+	// Bound is the latency ceiling.
+	Bound time.Duration
+	// Frac is the minimum fraction of traffic-carrying seconds that must
+	// satisfy the bound (0 defaults to 1: every second).
+	Frac float64
+}
+
+// String implements Assertion.
+func (a LatencyBelow) String() string {
+	frac := a.Frac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	return fmt.Sprintf("%s < %v for %.0f%% of seconds", a.Q, a.Bound, frac*100)
+}
+
+// Check implements Assertion.
+func (a LatencyBelow) Check(series []Second) error {
+	frac := a.Frac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	total, ok := 0, 0
+	worst := 0.0
+	for _, s := range series {
+		if s.Count == 0 {
+			continue
+		}
+		total++
+		v := a.Q.read(s)
+		if v <= float64(a.Bound) {
+			ok++
+		} else if v > worst {
+			worst = v
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("%s: no second carried traffic", a)
+	}
+	if got := float64(ok) / float64(total); got < frac {
+		return fmt.Errorf("%s: only %d/%d seconds within bound (%.0f%%), worst %s",
+			a, ok, total, got*100, fmtNS(worst))
+	}
+	return nil
+}
+
+// BoundedBacklog asserts that the ingress backlog and the deepest
+// decoupling queue never exceed their limits — the "no unbounded queue
+// growth" half of the paper's overload story. A zero limit skips that
+// check.
+type BoundedBacklog struct {
+	// MaxIngress bounds the ingress-buffer occupancy at any roll.
+	MaxIngress int
+	// MaxQueue bounds the deepest decoupling-queue backlog at any roll.
+	MaxQueue int
+}
+
+// String implements Assertion.
+func (a BoundedBacklog) String() string {
+	return fmt.Sprintf("backlog bounded (ingress <= %d, queue <= %d)", a.MaxIngress, a.MaxQueue)
+}
+
+// Check implements Assertion.
+func (a BoundedBacklog) Check(series []Second) error {
+	for _, s := range series {
+		if a.MaxIngress > 0 && s.Backlog > a.MaxIngress {
+			return fmt.Errorf("%s: ingress backlog %d at second %d", a, s.Backlog, s.Index)
+		}
+		if a.MaxQueue > 0 && s.QueueLen > a.MaxQueue {
+			return fmt.Errorf("%s: queue depth %d at second %d", a, s.QueueLen, s.Index)
+		}
+	}
+	return nil
+}
+
+// MinThroughput asserts that at least Frac of the seconds saw PerSec or
+// more observations reach the sink — the liveness half: an engine that
+// wedges (or a scheduler that starves the measured path) fails here even
+// if the few elements that did arrive were fast.
+type MinThroughput struct {
+	// PerSec is the observation floor per qualifying second.
+	PerSec uint64
+	// Frac is the minimum fraction of seconds that must qualify (0
+	// defaults to 1).
+	Frac float64
+}
+
+// String implements Assertion.
+func (a MinThroughput) String() string {
+	frac := a.Frac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	return fmt.Sprintf("throughput >= %d/s for %.0f%% of seconds", a.PerSec, frac*100)
+}
+
+// Check implements Assertion.
+func (a MinThroughput) Check(series []Second) error {
+	frac := a.Frac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("%s: empty series", a)
+	}
+	ok := 0
+	for _, s := range series {
+		if s.Count >= a.PerSec {
+			ok++
+		}
+	}
+	if got := float64(ok) / float64(len(series)); got < frac {
+		return fmt.Errorf("%s: only %d/%d seconds qualified (%.0f%%)", a, ok, len(series), got*100)
+	}
+	return nil
+}
+
+// MaxDropFrac asserts that ingress drops stay below a fraction of the
+// delivered observations across the whole run. Shedding scenarios set it
+// well above zero on purpose; zero-loss scenarios set Frac to 0 to demand
+// no drops at all.
+type MaxDropFrac struct {
+	// Frac is the tolerated ratio of dropped to observed elements.
+	Frac float64
+}
+
+// String implements Assertion.
+func (a MaxDropFrac) String() string {
+	return fmt.Sprintf("drops <= %.0f%% of observations", a.Frac*100)
+}
+
+// Check implements Assertion.
+func (a MaxDropFrac) Check(series []Second) error {
+	var seen, dropped uint64
+	for _, s := range series {
+		seen += s.Count
+		dropped += s.Dropped
+	}
+	if seen == 0 {
+		return fmt.Errorf("%s: no observations", a)
+	}
+	if got := float64(dropped) / float64(seen); got > a.Frac {
+		return fmt.Errorf("%s: dropped %d of %d observed (%.1f%%)", a, dropped, seen, got*100)
+	}
+	return nil
+}
+
+// CheckAll evaluates every assertion against the series and returns the
+// violations (empty means the run passed).
+func CheckAll(series []Second, asserts []Assertion) []error {
+	var violations []error
+	for _, a := range asserts {
+		if err := a.Check(series); err != nil {
+			violations = append(violations, err)
+		}
+	}
+	return violations
+}

@@ -1,0 +1,486 @@
+// Package soak drives the engine the way production would and judges the
+// outcome. A Scenario describes open-loop load (a workload.Shape rate
+// curve over zipf-keyed elements pushed through the external ingest
+// path), a timeline of faults to inject mid-run (slow-consumer stalls,
+// expensive-operator cost spikes, live mode switches, shed
+// engage/release), and a set of slo.Assertions over the per-second
+// latency/throughput/backlog series the run emits. Run executes the
+// scenario against a real engine and returns a pass/fail Result — the
+// standing verification layer behind `make soakshort` and cmd/hmtssoak.
+//
+// Load generation is open loop: elements are stamped with their
+// *scheduled* emission time on the shared ingest clock, so when the
+// engine (or a Block-policy ingress) pushes back, the delay is charged to
+// the elements' measured latency instead of silently stretching the
+// schedule — the coordinated-omission correction that makes open-loop
+// percentiles honest.
+package soak
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/internal/ingest"
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/slo"
+	"github.com/dsms/hmts/internal/stream"
+	"github.com/dsms/hmts/internal/workload"
+)
+
+// FaultKind names a fault-injection action.
+type FaultKind int
+
+// The fault kinds.
+const (
+	// FaultStall makes the terminal consumer sleep StallNS per element
+	// between At and Until — a slow downstream client.
+	FaultStall FaultKind = iota
+	// FaultCostSpike raises the analytics operator's per-element cost to
+	// CostNS between At and Until — an expensive-predicate phase.
+	FaultCostSpike
+	// FaultSwitchMode live-switches the engine to Mode/Strategy at At.
+	FaultSwitchMode
+	// FaultRebalance re-places queues from measured stats at At.
+	FaultRebalance
+	// FaultShed engages emergency shedding at At and releases it at Until.
+	FaultShed
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultStall:
+		return "stall"
+	case FaultCostSpike:
+		return "cost-spike"
+	case FaultSwitchMode:
+		return "switch-mode"
+	case FaultRebalance:
+		return "rebalance"
+	case FaultShed:
+		return "shed"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one timed injection. At is the onset offset into the run;
+// Until (where meaningful) is the release offset.
+type Fault struct {
+	Kind      FaultKind
+	At, Until time.Duration
+	// StallNS is the per-element consumer sleep for FaultStall.
+	StallNS int64
+	// CostNS is the spiked per-element cost for FaultCostSpike.
+	CostNS int64
+	// Mode and Strategy parameterize FaultSwitchMode.
+	Mode     hmts.Mode
+	Strategy string
+}
+
+// Scenario is a declarative soak run.
+type Scenario struct {
+	Name        string
+	Description string
+	// Duration is how long the load generator pushes.
+	Duration time.Duration
+	// Shape is the open-loop rate curve.
+	Shape workload.Shape
+	// Keys and ZipfS parameterize the zipf-keyed element stream (ZipfS <=
+	// 1 selects uniform keys); Seed makes it deterministic.
+	Keys  int
+	ZipfS float64
+	Seed  uint64
+	// Mode, Strategy and QueueBound configure the engine.
+	Mode       hmts.Mode
+	Strategy   string
+	QueueBound int
+	// Policy and Buffer configure the external ingress edge.
+	Policy hmts.OverloadPolicy
+	Buffer int
+	// OpCostNS is the analytics stage's baseline per-element cost.
+	OpCostNS int64
+	// Window is the aggregation window of the stateful branch.
+	Window time.Duration
+	// Sample bounds the per-second latency reservoir (0 = default).
+	Sample int
+	// Faults is the injection timeline.
+	Faults []Fault
+	// SLOs are the assertions that decide pass/fail.
+	SLOs []slo.Assertion
+}
+
+// Result is a completed run.
+type Result struct {
+	Scenario string
+	Series   []slo.Second
+	// Violations are the failed SLO assertions (empty on a passing run).
+	Violations []error
+	// Sent, Observed and Dropped tally the run end to end: pushed by the
+	// load generator, measured at the sink, dropped at the ingress edge.
+	Sent, Observed, Dropped uint64
+	// Err is a run-level failure — an engine fault or a wedged teardown —
+	// which fails the scenario regardless of the SLOs.
+	Err error
+}
+
+// Passed reports whether the run met every assertion and finished clean.
+func (r *Result) Passed() bool { return r.Err == nil && len(r.Violations) == 0 }
+
+// monitorSink terminates the measured path: it charges each element's
+// end-to-end latency to the slo.Monitor and doubles as the slow-consumer
+// fault site.
+type monitorSink struct {
+	mon     *slo.Monitor
+	stallNS atomic.Int64
+	seen    atomic.Uint64
+	done    chan struct{}
+}
+
+func newMonitorSink(mon *slo.Monitor) *monitorSink {
+	return &monitorSink{mon: mon, done: make(chan struct{})}
+}
+
+// Process implements op.Sink.
+func (k *monitorSink) Process(_ int, e stream.Element) {
+	if d := k.stallNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	k.seen.Add(1)
+	k.mon.Observe(float64(ingest.Now() - e.TS))
+}
+
+// ProcessBatch implements op.BatchSink; the stall is charged per element
+// so a burst does not dilute the injected slowness.
+func (k *monitorSink) ProcessBatch(_ int, es []stream.Element) {
+	if d := k.stallNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d) * time.Duration(len(es)))
+	}
+	now := ingest.Now()
+	for _, e := range es {
+		k.mon.Observe(float64(now - e.TS))
+	}
+	k.seen.Add(uint64(len(es)))
+}
+
+// Done implements op.Sink.
+func (k *monitorSink) Done(int) { close(k.done) }
+
+// Run executes the scenario, streaming one per-second report line to w as
+// each second completes (nil w is silent).
+func Run(sc Scenario, w io.Writer) *Result {
+	res := &Result{Scenario: sc.Name}
+	if sc.Duration <= 0 || sc.Shape == nil {
+		res.Err = fmt.Errorf("soak: scenario %q needs a duration and a rate shape", sc.Name)
+		return res
+	}
+	logf := func(format string, args ...any) {
+		if w != nil {
+			fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+
+	eng := hmts.New()
+	ext := hmts.External("ingress", hmts.ExternalConfig{
+		Policy:   sc.Policy,
+		Buffer:   sc.Buffer,
+		RateHint: sc.Shape.HzAt(0),
+	})
+	src := eng.Source("ingress", ext.Spec())
+
+	// The measured path: a cheap stateless prefix, the cost-injectable
+	// analytics stage, and the monitor sink. A stateful windowed
+	// aggregation rides the same source so mode switches migrate real
+	// operator state.
+	mon := slo.NewMonitor(sc.Sample, sc.Seed+1)
+	sink := newMonitorSink(mon)
+	cost := op.NewCostSim("analytics", sc.OpCostNS, nil)
+	mapped := src.
+		Where("where", func(e hmts.Element) bool { return e.Key >= 0 }).
+		Map("map", func(e hmts.Element) hmts.Element { e.Val++; return e })
+	g := eng.Graph()
+	nc := g.AddOp("analytics", cost, float64(max64(sc.OpCostNS, 1)), 1)
+	g.Connect(mapped.Node(), nc, 0)
+	ns := g.AddSink("monitor", sink)
+	g.Connect(nc, ns, 0)
+	window := sc.Window
+	if window <= 0 {
+		window = time.Second
+	}
+	aggDone := src.
+		Aggregate("agg", hmts.Count, window, func(e hmts.Element) int64 { return e.Key }).
+		Discard("agg-null")
+
+	if err := eng.Run(hmts.RunConfig{
+		Mode:       sc.Mode,
+		Strategy:   sc.Strategy,
+		QueueBound: sc.QueueBound,
+	}); err != nil {
+		res.Err = fmt.Errorf("soak: engine start: %w", err)
+		return res
+	}
+
+	logf("scenario %s: %s", sc.Name, sc.Description)
+	start := ingest.Now()
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		res.Sent = drive(ext, sc, start, stopLoad)
+		ext.Close()
+	}()
+
+	faultDone := runFaults(eng, sc, cost, sink, mon, start, logf)
+
+	// Per-second collection: roll the monitor and attach engine gauges.
+	var lastDropped uint64
+	roll := func() {
+		st := ext.Stats()
+		var ga slo.Gauges
+		ga.Dropped = st.Dropped - lastDropped
+		lastDropped = st.Dropped
+		ga.Backlog = st.Len
+		m := eng.Metrics()
+		for _, q := range m.Queues {
+			if q.Len > ga.QueueLen {
+				ga.QueueLen = q.Len
+			}
+			ga.Overshoot += q.Overshoot
+		}
+		sec := mon.Roll(ga)
+		logf("%s", sec.String())
+	}
+
+	tick := time.NewTicker(time.Second)
+	deadline := time.After(sc.Duration)
+collect:
+	for {
+		select {
+		case <-tick.C:
+			roll()
+		case <-deadline:
+			break collect
+		}
+	}
+	tick.Stop()
+	close(stopLoad)
+	// Let the load generator finish its last scheduled pushes naturally —
+	// it ends within milliseconds of the deadline — then force-close the
+	// ingress (idempotent) so a Block-policy pusher parked on a full
+	// buffer cannot keep the run alive indefinitely.
+	select {
+	case <-loadDone:
+	case <-time.After(5 * time.Second):
+		ext.Close()
+	}
+	<-loadDone
+	<-faultDone
+
+	// Drain: the closed ingress propagates Done through the graph. A
+	// wedged engine is itself an SLO catastrophe, so guard with a
+	// watchdog instead of waiting forever.
+	grace := sc.Duration/2 + 15*time.Second
+	drained := make(chan struct{})
+	go func() {
+		<-sink.done
+		aggDone.Wait()
+		eng.Wait()
+		close(drained)
+	}()
+	if !waitWithin(drained, grace, roll) {
+		eng.Stop()
+		res.Err = fmt.Errorf("soak: engine did not drain within %v of close (deadlock?)", grace)
+	} else {
+		roll() // capture the tail second
+	}
+	if err := eng.Err(); err != nil && res.Err == nil {
+		res.Err = fmt.Errorf("soak: engine fault: %w", err)
+	}
+
+	res.Series = mon.Series()
+	res.Observed = sink.seen.Load()
+	res.Dropped = ext.Stats().Dropped
+	res.Violations = slo.CheckAll(res.Series, sc.SLOs)
+	logf("sent=%d observed=%d dropped=%d seconds=%d", res.Sent, res.Observed, res.Dropped, len(res.Series))
+	for _, a := range sc.SLOs {
+		logf("slo PASS? %s", a)
+	}
+	for _, v := range res.Violations {
+		logf("slo FAIL: %v", v)
+	}
+	if res.Err != nil {
+		logf("run error: %v", res.Err)
+	}
+	return res
+}
+
+// drive is the open-loop load generator: it walks the shape's schedule,
+// coalesces elements that are due together into batches, and stamps each
+// element with its scheduled emission time on the ingest clock.
+func drive(ext *hmts.ExternalSource, sc Scenario, start int64, stop <-chan struct{}) uint64 {
+	gen := makeGen(sc)
+	durNS := sc.Duration.Nanoseconds()
+	const maxBatch = 512
+	buf := make([]hmts.Element, 0, maxBatch)
+	var sent uint64
+	var sched int64 // scheduled offset of the next element
+	i := 0
+	flush := func() {
+		if len(buf) > 0 {
+			sent += uint64(ext.PushBatch(buf))
+			buf = buf[:0]
+		}
+	}
+	for sched < durNS {
+		select {
+		case <-stop:
+			flush()
+			return sent
+		default:
+		}
+		hz := sc.Shape.HzAt(sched)
+		if hz <= 0 {
+			hz = 1
+		}
+		sched += int64(1e9 / hz)
+		e := gen(i)
+		e.TS = start + sched
+		i++
+		// An element is pushed only at or after its scheduled time, so a
+		// sink can never read a negative latency; due elements coalesce
+		// into one batch push.
+		if now := ingest.Now() - start; sched > now {
+			flush()
+			time.Sleep(time.Duration(sched - now))
+		}
+		buf = append(buf, e)
+		if len(buf) >= maxBatch {
+			flush()
+		}
+	}
+	flush()
+	return sent
+}
+
+// makeGen builds the element generator: zipf-keyed when ZipfS > 1,
+// uniform otherwise.
+func makeGen(sc Scenario) workload.Gen {
+	keys := sc.Keys
+	if keys < 1 {
+		keys = 1024
+	}
+	if sc.ZipfS > 1 {
+		return workload.ZipfKeys(keys, sc.ZipfS, sc.Seed)
+	}
+	return workload.UniformKeys(0, int64(keys-1), sc.Seed)
+}
+
+// runFaults schedules the injection timeline on its own goroutine and
+// returns a channel closed once every fault has fired and released.
+func runFaults(eng *hmts.Engine, sc Scenario, cost *op.CostSim, sink *monitorSink, mon *slo.Monitor, start int64, logf func(string, ...any)) <-chan struct{} {
+	type step struct {
+		at    time.Duration
+		apply func()
+	}
+	base := cost.CostNS()
+	var steps []step
+	for _, f := range sc.Faults {
+		f := f
+		switch f.Kind {
+		case FaultStall:
+			steps = append(steps, step{f.At, func() {
+				mon.Event("stall+")
+				sink.stallNS.Store(f.StallNS)
+			}})
+			steps = append(steps, step{f.Until, func() {
+				mon.Event("stall-")
+				sink.stallNS.Store(0)
+			}})
+		case FaultCostSpike:
+			steps = append(steps, step{f.At, func() {
+				mon.Event("spike+")
+				cost.SetCost(f.CostNS)
+			}})
+			steps = append(steps, step{f.Until, func() {
+				mon.Event("spike-")
+				cost.SetCost(base)
+			}})
+		case FaultSwitchMode:
+			steps = append(steps, step{f.At, func() {
+				mon.Event("switch:" + f.Mode.String())
+				if err := eng.SwitchMode(f.Mode, f.Strategy); err != nil {
+					logf("fault switch-mode: %v", err)
+				}
+			}})
+		case FaultRebalance:
+			steps = append(steps, step{f.At, func() {
+				mon.Event("rebalance")
+				if err := eng.Rebalance(); err != nil {
+					logf("fault rebalance: %v", err)
+				}
+			}})
+		case FaultShed:
+			steps = append(steps, step{f.At, func() {
+				mon.Event("shed+")
+				eng.Shed(true)
+			}})
+			steps = append(steps, step{f.Until, func() {
+				mon.Event("shed-")
+				eng.Shed(false)
+			}})
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Fire in timeline order; the list is small, sort by insertion.
+		for {
+			best := -1
+			for i, s := range steps {
+				if s.apply == nil {
+					continue
+				}
+				if best < 0 || s.at < steps[best].at {
+					best = i
+				}
+			}
+			if best < 0 {
+				return
+			}
+			s := steps[best]
+			steps[best].apply = nil
+			if wait := s.at.Nanoseconds() - (ingest.Now() - start); wait > 0 {
+				time.Sleep(time.Duration(wait))
+			}
+			s.apply()
+		}
+	}()
+	return done
+}
+
+// waitWithin waits for ch, calling onTick once per second meanwhile, and
+// reports whether ch closed before the timeout.
+func waitWithin(ch <-chan struct{}, timeout time.Duration, onTick func()) bool {
+	deadline := time.After(timeout)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ch:
+			return true
+		case <-tick.C:
+			onTick()
+		case <-deadline:
+			return false
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package soak
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/internal/slo"
+	"github.com/dsms/hmts/internal/testutil"
+	"github.com/dsms/hmts/internal/workload"
+)
+
+// miniScenario is a fast (~2s) scenario exercising the full runner path:
+// open-loop bursty load, a stall fault, and SLOs loose enough to pass on
+// any machine.
+func miniScenario() Scenario {
+	return Scenario{
+		Name:        "mini",
+		Description: "unit-test scenario",
+		Duration:    2 * time.Second,
+		Shape: workload.BurstShape{
+			BaseHz:   2_000,
+			BurstHz:  8_000,
+			PeriodNS: int64(time.Second),
+			BurstNS:  int64(250 * time.Millisecond),
+		},
+		Keys:       1024,
+		ZipfS:      1.2,
+		Seed:       5,
+		Mode:       hmts.ModeGTS,
+		QueueBound: 1024,
+		Policy:     hmts.Block,
+		Buffer:     4096,
+		OpCostNS:   2_000,
+		Window:     250 * time.Millisecond,
+		Faults: []Fault{
+			{Kind: FaultStall, At: 500 * time.Millisecond, Until: 900 * time.Millisecond, StallNS: int64(500 * time.Microsecond)},
+		},
+		SLOs: []slo.Assertion{
+			slo.LatencyBelow{Q: slo.P99, Bound: time.Minute, Frac: 0.5},
+			slo.BoundedBacklog{MaxIngress: 4096, MaxQueue: 4 * 1024},
+			slo.MaxDropFrac{Frac: 0}, // Block policy: lossless
+		},
+	}
+}
+
+func TestRunMiniScenario(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var out bytes.Buffer
+	res := Run(miniScenario(), &out)
+	if res.Err != nil {
+		t.Fatalf("run error: %v\n%s", res.Err, out.String())
+	}
+	if !res.Passed() {
+		t.Fatalf("violations: %v\n%s", res.Violations, out.String())
+	}
+	if res.Sent == 0 || res.Observed == 0 {
+		t.Fatalf("no traffic flowed: sent=%d observed=%d", res.Sent, res.Observed)
+	}
+	// Block policy with a clean drain: every pushed element must reach the
+	// monitor sink (the where-filter passes everything).
+	if res.Observed != res.Sent {
+		t.Fatalf("lost elements: sent=%d observed=%d dropped=%d", res.Sent, res.Observed, res.Dropped)
+	}
+	if len(res.Series) < 2 {
+		t.Fatalf("series too short: %d seconds", len(res.Series))
+	}
+	// The stall fault must be visible in the series events.
+	var sawStall bool
+	for _, s := range res.Series {
+		for _, ev := range s.Events {
+			if ev == "stall+" {
+				sawStall = true
+			}
+		}
+	}
+	if !sawStall {
+		t.Fatalf("stall event not recorded in series\n%s", out.String())
+	}
+	// The per-second report must carry the percentile columns.
+	if !strings.Contains(out.String(), "p99=") || !strings.Contains(out.String(), "p50=") {
+		t.Fatalf("per-second report missing percentiles:\n%s", out.String())
+	}
+}
+
+func TestRunDetectsViolation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc := miniScenario()
+	sc.Duration = time.Second
+	sc.Faults = nil
+	// Impossible SLO: sub-nanosecond p50 in every second.
+	sc.SLOs = []slo.Assertion{slo.LatencyBelow{Q: slo.P50, Bound: 1}}
+	res := Run(sc, nil)
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if res.Passed() || len(res.Violations) == 0 {
+		t.Fatal("impossible SLO must produce a violation")
+	}
+}
+
+// TestRunLiveReconfigure drives the mode-switch and shed faults on a short
+// run: the switch must actually happen (no run error, traffic after the
+// switch) and the series must record the events.
+func TestRunLiveReconfigure(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sc := miniScenario()
+	sc.Duration = 2500 * time.Millisecond
+	sc.Policy = hmts.DropNewest
+	sc.Faults = []Fault{
+		{Kind: FaultSwitchMode, At: 800 * time.Millisecond, Mode: hmts.ModeHMTS},
+		{Kind: FaultShed, At: 1500 * time.Millisecond, Until: 1900 * time.Millisecond},
+	}
+	sc.SLOs = []slo.Assertion{
+		slo.MinThroughput{PerSec: 1, Frac: 0.5},
+	}
+	var out bytes.Buffer
+	res := Run(sc, &out)
+	if res.Err != nil {
+		t.Fatalf("run error: %v\n%s", res.Err, out.String())
+	}
+	if !res.Passed() {
+		t.Fatalf("violations: %v\n%s", res.Violations, out.String())
+	}
+	events := map[string]bool{}
+	for _, s := range res.Series {
+		for _, ev := range s.Events {
+			events[ev] = true
+		}
+	}
+	for _, want := range []string{"switch:hmts", "shed+", "shed-"} {
+		if !events[want] {
+			t.Fatalf("event %q not recorded (got %v)\n%s", want, events, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "fault switch-mode:") {
+		t.Fatalf("live mode switch failed:\n%s", out.String())
+	}
+}
+
+// TestScenarioCatalog sanity-checks every canonical scenario without
+// running it: a shape, a duration, and at least one assertion each.
+func TestScenarioCatalog(t *testing.T) {
+	cat := Scenarios()
+	if len(cat) < 4 {
+		t.Fatalf("catalog too small: %d", len(cat))
+	}
+	for name, sc := range cat {
+		if sc.Name != name {
+			t.Errorf("%s: name mismatch %q", name, sc.Name)
+		}
+		if sc.Duration <= 0 || sc.Shape == nil {
+			t.Errorf("%s: missing duration or shape", name)
+		}
+		if len(sc.SLOs) == 0 {
+			t.Errorf("%s: no SLO assertions", name)
+		}
+		if sc.Shape.HzAt(0) < 0 {
+			t.Errorf("%s: negative initial rate", name)
+		}
+	}
+	names := Names()
+	if len(names) != len(cat) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(cat))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	if _, ok := cat["short"]; !ok {
+		t.Fatal("the CI gate scenario \"short\" must exist")
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+// Shape is a time-varying target rate for open-loop load generation: the
+// instantaneous emission rate, in elements per second, t nanoseconds into
+// the run. Unlike Arrival — which paces a fixed element count — a Shape is
+// duration-oriented, which is what a soak scenario needs ("drive 20k/s
+// with a 5x burst every 10 seconds for two minutes").
+type Shape interface {
+	HzAt(t int64) float64
+}
+
+// ConstShape drives a constant rate.
+type ConstShape struct{ Hz float64 }
+
+// HzAt implements Shape.
+func (c ConstShape) HzAt(int64) float64 { return c.Hz }
+
+// BurstShape drives BaseHz with periodic bursts: every PeriodNS the rate
+// jumps to BurstHz for BurstNS, then falls back — the §6.6 burst pattern
+// made periodic for open-ended soak runs.
+type BurstShape struct {
+	BaseHz, BurstHz float64
+	PeriodNS        int64 // full cycle length
+	BurstNS         int64 // burst duration at the start of each cycle
+	OffsetNS        int64 // delay before the first cycle starts
+}
+
+// HzAt implements Shape.
+func (b BurstShape) HzAt(t int64) float64 {
+	if b.PeriodNS <= 0 {
+		return b.BaseHz
+	}
+	t -= b.OffsetNS
+	if t < 0 {
+		return b.BaseHz
+	}
+	if t%b.PeriodNS < b.BurstNS {
+		return b.BurstHz
+	}
+	return b.BaseHz
+}
+
+// RampDecayShape ramps linearly from FloorHz to PeakHz over RampNS, holds
+// the peak for HoldNS, then decays linearly back to FloorHz over DecayNS —
+// the diurnal-load swing of the ROADMAP's autoscaling scenario compressed
+// into one run. After the decay the rate stays at FloorHz.
+type RampDecayShape struct {
+	FloorHz, PeakHz         float64
+	RampNS, HoldNS, DecayNS int64
+}
+
+// HzAt implements Shape.
+func (r RampDecayShape) HzAt(t int64) float64 {
+	switch {
+	case t < 0:
+		return r.FloorHz
+	case t < r.RampNS:
+		return r.FloorHz + (r.PeakHz-r.FloorHz)*float64(t)/float64(r.RampNS)
+	case t < r.RampNS+r.HoldNS:
+		return r.PeakHz
+	case t < r.RampNS+r.HoldNS+r.DecayNS:
+		frac := float64(t-r.RampNS-r.HoldNS) / float64(r.DecayNS)
+		return r.PeakHz + (r.FloorHz-r.PeakHz)*frac
+	}
+	return r.FloorHz
+}
+
+// ShapeArrival adapts a Shape to the Arrival interface so the synthetic
+// workload sources can pace themselves along a soak rate shape: each gap
+// is 1/rate at the accumulated schedule time. Stateful — use a fresh value
+// per source.
+type ShapeArrival struct {
+	Shape Shape
+	t     int64
+}
+
+// Next implements Arrival.
+func (s *ShapeArrival) Next(int) int64 {
+	hz := s.Shape.HzAt(s.t)
+	if hz <= 0 {
+		return 0
+	}
+	gap := int64(1e9 / hz)
+	s.t += gap
+	return gap
+}

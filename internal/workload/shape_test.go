@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBurstShape(t *testing.T) {
+	b := BurstShape{
+		BaseHz:   1000,
+		BurstHz:  10000,
+		PeriodNS: int64(4 * time.Second),
+		BurstNS:  int64(time.Second),
+		OffsetNS: int64(time.Second),
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1000},                        // before the offset
+		{1500 * time.Millisecond, 10000}, // inside the first burst
+		{2500 * time.Millisecond, 1000},  // between bursts
+		{5500 * time.Millisecond, 10000}, // second cycle's burst
+		{7 * time.Second, 1000},
+	}
+	for _, c := range cases {
+		if got := b.HzAt(int64(c.at)); got != c.want {
+			t.Errorf("HzAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	// Degenerate period: constant base rate.
+	if got := (BurstShape{BaseHz: 7}).HzAt(123); got != 7 {
+		t.Errorf("zero period: got %v", got)
+	}
+}
+
+func TestRampDecayShape(t *testing.T) {
+	r := RampDecayShape{
+		FloorHz: 100,
+		PeakHz:  1100,
+		RampNS:  int64(10 * time.Second),
+		HoldNS:  int64(5 * time.Second),
+		DecayNS: int64(10 * time.Second),
+	}
+	approx := func(got, want float64) bool { return got > want-1 && got < want+1 }
+	if got := r.HzAt(0); !approx(got, 100) {
+		t.Errorf("start: %v", got)
+	}
+	if got := r.HzAt(int64(5 * time.Second)); !approx(got, 600) {
+		t.Errorf("mid-ramp: %v", got)
+	}
+	if got := r.HzAt(int64(12 * time.Second)); !approx(got, 1100) {
+		t.Errorf("hold: %v", got)
+	}
+	if got := r.HzAt(int64(20 * time.Second)); !approx(got, 600) {
+		t.Errorf("mid-decay: %v", got)
+	}
+	if got := r.HzAt(int64(60 * time.Second)); !approx(got, 100) {
+		t.Errorf("after decay: %v", got)
+	}
+	if got := r.HzAt(-5); !approx(got, 100) {
+		t.Errorf("negative time: %v", got)
+	}
+}
+
+// TestShapeArrivalIntegratesShape: pacing a source along a shape must emit
+// approximately rate*duration elements per segment.
+func TestShapeArrivalIntegratesShape(t *testing.T) {
+	shape := BurstShape{
+		BaseHz:   1000,
+		BurstHz:  5000,
+		PeriodNS: int64(2 * time.Second),
+		BurstNS:  int64(time.Second),
+	}
+	arr := &ShapeArrival{Shape: shape}
+	var elapsed int64
+	count := 0
+	for elapsed < int64(2*time.Second) {
+		elapsed += arr.Next(count)
+		count++
+	}
+	// One cycle: 1s at 5000/s + 1s at 1000/s = ~6000 elements.
+	if count < 5800 || count > 6200 {
+		t.Fatalf("one burst cycle emitted %d elements, want ~6000", count)
+	}
+}
+
+// TestShapeArrivalConstMatchesFixedRate: a constant shape and FixedRate
+// must produce identical pacing.
+func TestShapeArrivalConstMatchesFixedRate(t *testing.T) {
+	arr := &ShapeArrival{Shape: ConstShape{Hz: 500}}
+	fixed := FixedRate{Hz: 500}
+	for i := 0; i < 100; i++ {
+		if a, b := arr.Next(i), fixed.Next(i); a != b {
+			t.Fatalf("gap %d: shape %d vs fixed %d", i, a, b)
+		}
+	}
+	// Non-positive rate never divides by zero.
+	z := &ShapeArrival{Shape: ConstShape{Hz: 0}}
+	if got := z.Next(0); got != 0 {
+		t.Fatalf("zero rate gap = %d, want 0", got)
+	}
+}
