@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build test race saturation bench benchsmoke bounded soakshort benchdiff fuzzsmoke
+.PHONY: ci vet build test race saturation bench benchsmoke bounded soakshort soakshard benchdiff fuzzsmoke
 
 # The gate every PR must pass. benchsmoke compiles and runs every benchmark
 # once so a PR cannot rot the measurement harness silently; soakshort runs
 # the canonical burst + stall + live-reconfigure soak scenario with SLO
-# assertions; benchdiff re-measures the tracked benchmarks and fails on
-# regressions beyond the tolerance band.
-ci: vet build test race saturation benchsmoke bounded soakshort benchdiff
+# assertions; soakshard does the same for the data-parallel shard region
+# with live replica-count changes; benchdiff re-measures the tracked
+# benchmarks and fails on regressions beyond the tolerance band.
+ci: vet build test race saturation benchsmoke bounded soakshort soakshard benchdiff
 
 # Covers cmd/ as well as internal/ — ./... is the whole module.
 vet:
@@ -51,10 +52,15 @@ bench:
 	@echo wrote BENCH_ingest.json
 	$(GO) test -bench . -benchmem ./internal/op | $(GO) run ./cmd/benchjson > BENCH_ops.json
 	@echo wrote BENCH_ops.json
+	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_shard.json
+	@echo wrote BENCH_shard.json
 
-# One iteration of every benchmark: a compile-and-smoke pass for ci.
+# One iteration of every benchmark: a compile-and-smoke pass for ci. The
+# root package runs only the shard benches — the Fig* experiment benchmarks
+# are full evaluation runs and far too slow for a smoke pass.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./cmd/hmtsd
+	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchtime 1x .
 
 # The canonical soak gate: ~9 seconds of open-loop bursty load through the
 # external ingest path with a slow-consumer stall, a live mode switch, and
@@ -62,6 +68,12 @@ benchsmoke:
 # build on any SLO violation or failure to drain.
 soakshort:
 	$(GO) run ./cmd/hmtssoak -scenario short
+
+# The shard soak gate: bursty zipf load through a sharded aggregation under
+# bounded Block-policy queues with three live replica-count changes
+# mid-run. Catches reshard deadlocks, stuck merges and lost elements.
+soakshard:
+	$(GO) run ./cmd/hmtssoak -scenario shard
 
 # Perf-regression gate: re-measure the tracked benchmark suites with a
 # short benchtime (two repetitions, min taken) and diff against the
@@ -77,13 +89,17 @@ benchdiff:
 	{ $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./internal/ingest; \
 	  $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./cmd/hmtsd; } | $(GO) run ./cmd/benchjson > .bench/ingest.json
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./internal/op | $(GO) run ./cmd/benchjson > .bench/ops.json
+	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 . | $(GO) run ./cmd/benchjson > .bench/shard.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_sched.json .bench/sched.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ingest.json .bench/ingest.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ops.json .bench/ops.json
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_shard.json .bench/shard.json
 
-# Short fuzz pass over the hmtsd line protocol; the corpus keeps growing
-# under cmd/hmtsd/testdata/fuzz as failures are found.
+# Short fuzz pass over the hmtsd line protocol and the order-restoring
+# shard merge; the corpora keep growing under testdata/fuzz as failures
+# are found.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadLine -fuzztime 10s ./cmd/hmtsd
 	$(GO) test -run '^$$' -fuzz FuzzPushParse -fuzztime 10s ./cmd/hmtsd
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s ./cmd/hmtsd
+	$(GO) test -run '^$$' -fuzz FuzzShardMerge -fuzztime 10s ./internal/op

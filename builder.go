@@ -6,6 +6,7 @@ import (
 
 	"github.com/dsms/hmts/internal/graph"
 	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/stream"
 )
 
 // Stream is a handle to one node's output during query construction. All
@@ -81,6 +82,16 @@ func (s *Stream) Project(name string) *Stream {
 func (s *Stream) Aggregate(name string, kind AggKind, window time.Duration, groupBy func(Element) int64) *Stream {
 	a := op.NewWindowAgg(name, kind, int64(window), groupBy)
 	n := s.eng.addOp(name, a, 1500, 1)
+	if groupBy != nil {
+		// Grouped aggregates partition by the group key, so they shard.
+		n.Shardable = &graph.ShardSpec{
+			Ins: 1,
+			Key: func(_ int, e stream.Element) int64 { return groupBy(e) },
+			New: func(i int) op.Operator {
+				return op.NewWindowAgg(fmt.Sprintf("%s#%d", name, i), kind, int64(window), groupBy)
+			},
+		}
+	}
 	s.eng.g.Connect(s.node, n, 0)
 	return s.eng.stream(n)
 }
@@ -90,6 +101,15 @@ func (s *Stream) Aggregate(name string, kind AggKind, window time.Duration, grou
 func (s *Stream) AggregateRows(name string, kind AggKind, rows int, groupBy func(Element) int64) *Stream {
 	a := op.NewCountWindowAgg(name, kind, rows, groupBy)
 	n := s.eng.addOp(name, a, 1200, 1)
+	if groupBy != nil {
+		n.Shardable = &graph.ShardSpec{
+			Ins: 1,
+			Key: func(_ int, e stream.Element) int64 { return groupBy(e) },
+			New: func(i int) op.Operator {
+				return op.NewCountWindowAgg(fmt.Sprintf("%s#%d", name, i), kind, rows, groupBy)
+			},
+		}
+	}
 	s.eng.g.Connect(s.node, n, 0)
 	return s.eng.stream(n)
 }
@@ -101,6 +121,15 @@ func (s *Stream) Join(name string, other *Stream, window time.Duration, merge fu
 	s.mustShareEngine(other)
 	j := op.NewSHJ(name, int64(window), merge)
 	n := s.eng.addOp(name, j, 2000, 1)
+	// An equi-join partitions by its join key on both inputs: matching
+	// tuples always land in the same shard.
+	n.Shardable = &graph.ShardSpec{
+		Ins: 2,
+		Key: func(_ int, e stream.Element) int64 { return e.Key },
+		New: func(i int) op.Operator {
+			return op.NewSHJ(fmt.Sprintf("%s#%d", name, i), int64(window), merge)
+		},
+	}
 	s.eng.g.Connect(s.node, n, 0)
 	s.eng.g.Connect(other.node, n, 1)
 	return s.eng.stream(n)
@@ -148,8 +177,33 @@ func (s *Stream) Union(name string, others ...*Stream) *Stream {
 func (s *Stream) Distinct(name string, window time.Duration) *Stream {
 	d := op.NewDistinct(name, int64(window))
 	n := s.eng.addOp(name, d, 500, 0.9)
+	n.Shardable = &graph.ShardSpec{
+		Ins: 1,
+		Key: func(_ int, e stream.Element) int64 { return e.Key },
+		New: func(i int) op.Operator {
+			return op.NewDistinct(fmt.Sprintf("%s#%d", name, i), int64(window))
+		},
+	}
 	s.eng.g.Connect(s.node, n, 0)
 	return s.eng.stream(n)
+}
+
+// Shard rewrites the stream's producing operator into n key-partitioned
+// replicas between a hash split and an order-restoring merge, so a hot
+// stateful operator scales across threads while its merged output stays
+// byte-identical to the unsharded plan (TopK excepted: each shard tracks
+// its own top k). Only keyed operators shard — grouped Aggregate /
+// AggregateRows, Distinct, TopK and Join; Shard panics on anything else
+// (including whole-stream aggregates, whose single group cannot be
+// partitioned). The replica count can be changed later, even while
+// running, with Engine.Reshard using the operator's name. The returned
+// stream is the merge's output; build downstream operators on it as usual.
+func (s *Stream) Shard(n int) *Stream {
+	gr, err := s.eng.g.ApplyShard(s.node, n)
+	if err != nil {
+		panic("hmts: " + err.Error())
+	}
+	return s.eng.stream(gr.Merge)
 }
 
 // Reorder appends a k-slack event-time repair buffer: elements are
@@ -169,6 +223,15 @@ func (s *Stream) Reorder(name string, slack time.Duration) *Stream {
 func (s *Stream) TopK(name string, k int, window time.Duration) *Stream {
 	t := op.NewTopK(name, k, int64(window))
 	n := s.eng.addOp(name, t, 1000, 0.05)
+	// Sharded TopK tracks the top k per shard (a union of partition
+	// top-k's), not a global top-k — a superset of the global answer.
+	n.Shardable = &graph.ShardSpec{
+		Ins: 1,
+		Key: func(_ int, e stream.Element) int64 { return e.Key },
+		New: func(i int) op.Operator {
+			return op.NewTopK(fmt.Sprintf("%s#%d", name, i), k, int64(window))
+		},
+	}
 	s.eng.g.Connect(s.node, n, 0)
 	return s.eng.stream(n)
 }

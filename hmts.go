@@ -2,6 +2,7 @@ package hmts
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/dsms/hmts/internal/graph"
@@ -87,6 +88,9 @@ type Engine struct {
 	d       *sched.Deployment
 	cfg     RunConfig
 	running bool
+	// mu serializes structural mutations of a live graph (Reshard) against
+	// snapshot readers (Metrics), which walk the node table.
+	mu sync.RWMutex
 }
 
 // New returns an empty engine.
@@ -204,6 +208,28 @@ func (e *Engine) Rebalance() error {
 	e.g.AdoptMeasuredStats()
 	cut := placement.FirstFitDecreasing(e.g)
 	return e.d.Reconfigure(sched.Plan{Cut: cut}, "")
+}
+
+// Reshard changes the replica count of the shard region built from the
+// operator of the given name (see Stream.Shard). Before Run it is pure
+// graph surgery — the replicas have no state yet. On a running engine the
+// region is quiesced, its window state re-hashed across the new replicas,
+// and processing resumes with no seam in the output order: downstream
+// consumers see exactly the elements they would have seen without the
+// resize. Resizing is refused once the region's input streams have started
+// closing.
+func (e *Engine) Reshard(name string, n int) error {
+	gr := e.g.ShardGroup(name)
+	if gr == nil {
+		return fmt.Errorf("hmts: no shard region %q", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.d == nil {
+		_, err := e.g.ResizeShard(gr, n)
+		return err
+	}
+	return e.d.Reshard(gr, n)
 }
 
 // Shed engages (true) or releases (false) emergency load shedding: every

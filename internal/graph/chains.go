@@ -9,7 +9,7 @@ package graph
 func (g *Graph) Chains() [][]int {
 	var chains [][]int
 	for _, n := range g.nodes {
-		if n.Kind != KindOp || g.chainPred(n.ID) >= 0 {
+		if n == nil || n.Kind != KindOp || g.chainPred(n.ID) >= 0 {
 			continue // not a chain head
 		}
 		ids := []int{n.ID}

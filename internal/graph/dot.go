@@ -12,6 +12,9 @@ func (g *Graph) DOT(cut map[EdgeKey]bool) string {
 	var b strings.Builder
 	b.WriteString("digraph query {\n  rankdir=BT;\n")
 	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
 		shape := "box"
 		switch n.Kind {
 		case KindSource:
@@ -105,7 +108,7 @@ func (g *Graph) Components(cut map[EdgeKey]bool) [][]int {
 	groups := make(map[int][]int)
 	var roots []int
 	for _, n := range g.nodes {
-		if n.Kind == KindSink {
+		if n == nil || n.Kind == KindSink {
 			continue
 		}
 		r := find(n.ID)

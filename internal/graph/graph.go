@@ -62,6 +62,12 @@ type Node struct {
 	Src op.Source
 	// Sink is the runtime sink for KindSink nodes.
 	Sink op.Sink
+
+	// Shardable, when non-nil, declares that this operator partitions
+	// cleanly by key and can be rewritten into a split/replicas/merge
+	// region by ApplyShard. The builder layer fills it in for keyed
+	// stateful operators.
+	Shardable *ShardSpec
 }
 
 // DNS returns d(v), the mean interarrival time of the node's input in
@@ -95,15 +101,19 @@ type EdgeKey struct {
 func (k EdgeKey) String() string { return fmt.Sprintf("%d->%d:%d", k.From, k.To, k.ToPort) }
 
 // Graph is a mutable DAG under construction, then a read-only plan input.
+// Shard rewrites (ApplyShard/ResizeShard) may later remove nodes again;
+// removal leaves a nil hole in the ID space so existing IDs stay stable.
 type Graph struct {
-	nodes []*Node
-	out   map[int][]Edge
-	in    map[int][]Edge
+	nodes  []*Node
+	out    map[int][]Edge
+	in     map[int][]Edge
+	shards []*ShardGroup
+	role   map[int]shardRole
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{out: make(map[int][]Edge), in: make(map[int][]Edge)}
+	return &Graph{out: make(map[int][]Edge), in: make(map[int][]Edge), role: make(map[int]shardRole)}
 }
 
 func (g *Graph) add(n *Node) *Node {
@@ -151,6 +161,41 @@ func (g *Graph) Connect(from, to *Node, toPort int) Edge {
 	return e
 }
 
+// disconnect removes one edge. It panics if the edge is not present, which
+// always indicates a rewrite bug.
+func (g *Graph) disconnect(e Edge) {
+	if !removeEdge(g.out, e.From, e) || !removeEdge(g.in, e.To, e) {
+		panic(fmt.Sprintf("graph: disconnect of unknown edge %v", e.Key()))
+	}
+}
+
+func removeEdge(m map[int][]Edge, id int, e Edge) bool {
+	es := m[id]
+	for i, x := range es {
+		if x == e {
+			m[id] = append(es[:i], es[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// removeNode deletes a node, leaving a nil hole at its ID so every other
+// node's ID stays valid. All of the node's edges must already be
+// disconnected.
+func (g *Graph) removeNode(n *Node) {
+	if g.node(n.ID) != n {
+		panic("graph: removeNode of foreign node")
+	}
+	if len(g.out[n.ID]) > 0 || len(g.in[n.ID]) > 0 {
+		panic(fmt.Sprintf("graph: removeNode %q with live edges", n.Name))
+	}
+	delete(g.out, n.ID)
+	delete(g.in, n.ID)
+	delete(g.role, n.ID)
+	g.nodes[n.ID] = nil
+}
+
 func (g *Graph) node(id int) *Node {
 	if id < 0 || id >= len(g.nodes) {
 		return nil
@@ -167,13 +212,29 @@ func (g *Graph) Node(id int) *Node {
 	return n
 }
 
-// Len returns the number of nodes.
-func (g *Graph) Len() int { return len(g.nodes) }
+// Len returns the number of live nodes.
+func (g *Graph) Len() int {
+	n := 0
+	for _, nd := range g.nodes {
+		if nd != nil {
+			n++
+		}
+	}
+	return n
+}
 
-// Nodes returns all nodes in insertion order.
+// IDSpan returns the size of the node ID space (holes included): every
+// node ID is in [0, IDSpan).
+func (g *Graph) IDSpan() int { return len(g.nodes) }
+
+// Nodes returns all live nodes in insertion order.
 func (g *Graph) Nodes() []*Node {
-	out := make([]*Node, len(g.nodes))
-	copy(out, g.nodes)
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
 	return out
 }
 
@@ -189,7 +250,7 @@ func (g *Graph) Sinks() []*Node { return g.byKind(KindSink) }
 func (g *Graph) byKind(k Kind) []*Node {
 	var out []*Node
 	for _, n := range g.nodes {
-		if n.Kind == k {
+		if n != nil && n.Kind == k {
 			out = append(out, n)
 		}
 	}
@@ -230,6 +291,9 @@ func (g *Graph) Validate() error {
 		return err
 	}
 	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
 		switch n.Kind {
 		case KindSource:
 			if len(g.out[n.ID]) == 0 {
@@ -283,7 +347,7 @@ func (g *Graph) TopoOrder() ([]*Node, error) {
 	}
 	var frontier []int
 	for id, d := range indeg {
-		if d == 0 {
+		if d == 0 && g.nodes[id] != nil {
 			frontier = append(frontier, id)
 		}
 	}
@@ -303,8 +367,8 @@ func (g *Graph) TopoOrder() ([]*Node, error) {
 		sort.Ints(next)
 		frontier = append(frontier, next...)
 	}
-	if len(order) != len(g.nodes) {
-		return nil, fmt.Errorf("graph: cycle among %d nodes", len(g.nodes)-len(order))
+	if live := g.Len(); len(order) != live {
+		return nil, fmt.Errorf("graph: cycle among %d nodes", live-len(order))
 	}
 	return order, nil
 }
@@ -327,7 +391,14 @@ func (g *Graph) DeriveRates() error {
 		default:
 			in := 0.0
 			for _, e := range g.in[n.ID] {
-				in += outRate[e.From]
+				r := outRate[e.From]
+				// A shard split fans its output across the replicas, so
+				// each replica sees 1/n of it (hash partitioning spreads
+				// keys evenly in expectation).
+				if sr, ok := g.role[e.From]; ok && sr.role == roleSplit {
+					r /= float64(len(sr.group.Replicas))
+				}
+				in += r
 			}
 			n.RateHz = in
 			sel := n.Selectivity
@@ -345,7 +416,7 @@ func (g *Graph) DeriveRates() error {
 // re-planning from live measurements.
 func (g *Graph) AdoptMeasuredStats() {
 	for _, n := range g.nodes {
-		if n.Kind != KindOp || n.Op == nil {
+		if n == nil || n.Kind != KindOp || n.Op == nil {
 			continue
 		}
 		st := n.Op.Stats()

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/stream"
+)
+
+func aggSpec() *ShardSpec {
+	group := func(e stream.Element) int64 { return e.Key }
+	return &ShardSpec{
+		Ins: 1,
+		Key: func(_ int, e stream.Element) int64 { return group(e) },
+		New: func(i int) op.Operator { return op.NewWindowAgg("a", op.AggSum, 100, group) },
+	}
+}
+
+// shardableChain builds src -> agg(shardable) -> sink.
+func shardableChain() (*Graph, *Node) {
+	g := New()
+	src := g.AddSource("src", fakeSource{}, 1000)
+	group := func(e stream.Element) int64 { return e.Key }
+	n := g.AddOp("agg", op.NewWindowAgg("agg", op.AggSum, 100, group), 1000, 1)
+	n.Shardable = aggSpec()
+	g.Connect(src, n, 0)
+	sink := g.AddSink("out", op.NewNull(1))
+	g.Connect(n, sink, 0)
+	return g, n
+}
+
+func TestApplyShardRewrite(t *testing.T) {
+	g, n := shardableChain()
+	gr, err := g.ApplyShard(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("sharded graph invalid: %v", err)
+	}
+	if len(gr.Replicas) != 3 {
+		t.Fatalf("got %d replicas, want 3", len(gr.Replicas))
+	}
+	if g.ShardGroup("agg") != gr {
+		t.Fatal("group not addressable by the original operator's name")
+	}
+	// Original node is gone; its ID slot is a hole, Len counts live nodes.
+	for _, live := range g.Nodes() {
+		if live.ID == n.ID {
+			t.Fatal("original node still present")
+		}
+	}
+	if g.Len() != 2+2+3 { // src+sink, split+merge, replicas
+		t.Fatalf("Len = %d, want 7", g.Len())
+	}
+	// Every region-internal edge must be in the mandatory cut.
+	mc := g.MustCut()
+	if len(mc) != 3+3 {
+		t.Fatalf("MustCut has %d edges, want 6", len(mc))
+	}
+	// Split out-edges resolve to shard indices.
+	seen := map[int]bool{}
+	for _, e := range g.OutEdges(gr.Split.ID) {
+		sh, ok := g.SplitEdgeShard(e)
+		if !ok {
+			t.Fatal("split out-edge not recognized")
+		}
+		seen[sh] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("split edges cover %d shards, want 3", len(seen))
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatalf("topo order after rewrite: %v", err)
+	}
+}
+
+func TestApplyShardRejects(t *testing.T) {
+	// Non-shardable operator.
+	g := New()
+	src := g.AddSource("src", fakeSource{}, 1)
+	f := g.AddOp("f", filterOp("f"), 1, 1)
+	g.Connect(src, f, 0)
+	sink := g.AddSink("out", op.NewNull(1))
+	g.Connect(f, sink, 0)
+	if _, err := g.ApplyShard(f, 2); err == nil || !strings.Contains(err.Error(), "not shardable") {
+		t.Fatalf("want not-shardable error, got %v", err)
+	}
+
+	// Foreign node.
+	g2, n2 := shardableChain()
+	_ = g2
+	g3 := New()
+	if _, err := g3.ApplyShard(n2, 2); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Fatalf("want foreign-node error, got %v", err)
+	}
+
+	// Bad count.
+	g4, n4 := shardableChain()
+	if _, err := g4.ApplyShard(n4, 0); err == nil {
+		t.Fatal("want shard-count error")
+	}
+
+	// Double shard: the merge node is not shardable, and the replicas are
+	// already in a region.
+	g5, n5 := shardableChain()
+	gr, err := g5.ApplyShard(n5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Replicas[0].Shardable = aggSpec()
+	if _, err := g5.ApplyShard(gr.Replicas[0], 2); err == nil || !strings.Contains(err.Error(), "already part") {
+		t.Fatalf("want already-in-region error, got %v", err)
+	}
+}
+
+// TestApplyShardSharedReplicaPanics enforces the buffer/stats independence
+// contract: a factory that hands out one shared operator instance would
+// alias the replicas' Base output buffers and stats, so the rewrite
+// refuses it loudly.
+func TestApplyShardSharedReplicaPanics(t *testing.T) {
+	g, n := shardableChain()
+	group := func(e stream.Element) int64 { return e.Key }
+	shared := op.NewWindowAgg("shared", op.AggSum, 100, group)
+	n.Shardable = &ShardSpec{
+		Ins: 1,
+		Key: func(_ int, e stream.Element) int64 { return group(e) },
+		New: func(int) op.Operator { return shared },
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shared replica instance must panic")
+		}
+		if !strings.Contains(r.(string), "shared replica instance") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	g.ApplyShard(n, 2)
+}
+
+func TestResizeShard(t *testing.T) {
+	g, n := shardableChain()
+	gr, err := g.ApplyShard(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := g.ResizeShard(gr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 2 || len(gr.Replicas) != 5 {
+		t.Fatalf("resize returned %d old, kept %d new; want 2/5", len(old), len(gr.Replicas))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("resized graph invalid: %v", err)
+	}
+	for _, rn := range old {
+		for _, live := range g.Nodes() {
+			if live.ID == rn.ID {
+				t.Fatal("old replica still in graph")
+			}
+		}
+	}
+	if got := gr.Split.Op.(*op.Split).Shards(); got != 5 {
+		t.Fatalf("split reset to %d shards, want 5", got)
+	}
+	if len(g.MustCut()) != 5+5 {
+		t.Fatalf("MustCut has %d edges after resize, want 10", len(g.MustCut()))
+	}
+	// Shrink back down and re-validate.
+	if _, err := g.ResizeShard(gr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("shrunk graph invalid: %v", err)
+	}
+}
+
+func TestDeriveRatesWithShards(t *testing.T) {
+	g, n := shardableChain()
+	if _, err := g.ApplyShard(n, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DeriveRates(); err != nil {
+		t.Fatalf("DeriveRates over sharded graph: %v", err)
+	}
+	// Each replica should see 1/4 of the split's output rate.
+	gr := g.ShardGroup("agg")
+	split := gr.Split
+	var want float64
+	for _, rn := range gr.Replicas {
+		if rn.RateHz <= 0 {
+			t.Fatalf("replica in-rate not derived: %v", rn.RateHz)
+		}
+		if want == 0 {
+			want = rn.RateHz
+		} else if rn.RateHz != want {
+			t.Fatalf("replica rates uneven: %v vs %v", rn.RateHz, want)
+		}
+	}
+	if split.RateHz <= 0 || want >= split.RateHz {
+		t.Fatalf("replica rate %v should be a fraction of split in-rate %v", want, split.RateHz)
+	}
+}

@@ -275,8 +275,23 @@ func (a *WindowAgg) step(e stream.Element) stream.Element {
 		a.expire(e.TS-a.window, g)
 		a.add(g, e)
 	}
-	return stream.Element{TS: e.TS, Key: key, Val: a.result(g)}
+	return stream.Element{TS: e.TS, Key: key, Val: a.result(g), Seq: e.Seq}
 }
+
+// ExportShardState implements ShardState: every element still held in a
+// group window, in ascending Seq order.
+func (a *WindowAgg) ExportShardState() []PortedElement {
+	var pes []PortedElement
+	for _, g := range a.groups {
+		g.win.each(func(e stream.Element) { pes = append(pes, PortedElement{E: e}) })
+	}
+	SortPortedBySeq(pes)
+	return pes
+}
+
+// ImportShardElement implements ShardState: replay one retained element,
+// rebuilding window state without emitting.
+func (a *WindowAgg) ImportShardElement(_ int, e stream.Element) { a.step(e) }
 
 // Process implements Sink.
 func (a *WindowAgg) Process(_ int, e stream.Element) {

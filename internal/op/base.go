@@ -42,6 +42,12 @@ type Base struct {
 	// between ProcessBatch calls — bounded retention, unlike a leaked
 	// slice head.
 	obuf []stream.Element
+	// prog, when non-nil, is the shard-progress watermark this operator
+	// publishes for an order-restoring Merge downstream: the Seq of the
+	// last input whose outputs have all been emitted. curSeq stages the
+	// value between BeginWork and EndWork. See EnableShardProgress.
+	prog   *ShardProgress
+	curSeq uint64
 }
 
 // InitBase prepares an embedded Base with the operator name and number of
@@ -162,11 +168,25 @@ func (b *Base) MarkDone(port int) bool {
 	return true
 }
 
+// EnableShardProgress allocates (once) and returns the operator's shard
+// progress watermark. The deployment enables it on shard replicas so the
+// downstream Merge can read how far the replica has processed; it costs one
+// predictable branch per Process call when disabled.
+func (b *Base) EnableShardProgress() *ShardProgress {
+	if b.prog == nil {
+		b.prog = &ShardProgress{}
+	}
+	return b.prog
+}
+
 // BeginWork records an arriving element (feeding the d(v) estimator) and,
 // on sampled elements, returns a start time for cost metering; otherwise
 // it returns -1. Pair with EndWork.
 func (b *Base) BeginWork(e stream.Element) int64 {
 	b.st.RecordIn(e.TS)
+	if b.prog != nil {
+		b.curSeq = e.Seq
+	}
 	b.meterN++
 	if b.meterN%meterEvery == 0 {
 		return monotime()
@@ -174,8 +194,14 @@ func (b *Base) BeginWork(e stream.Element) int64 {
 	return -1
 }
 
-// EndWork completes cost metering begun by BeginWork.
+// EndWork completes cost metering begun by BeginWork. When shard progress
+// is enabled it also publishes the just-finished element's Seq — after the
+// operator has emitted all outputs for it, which is what the Merge frontier
+// protocol relies on.
 func (b *Base) EndWork(start int64) {
+	if b.prog != nil {
+		b.prog.done.Store(b.curSeq)
+	}
 	if start >= 0 {
 		b.st.RecordBusy(monotime() - start)
 	}
@@ -187,6 +213,9 @@ func (b *Base) EndWork(start int64) {
 // Pair with EndWorkBatch. es must be non-empty.
 func (b *Base) BeginWorkBatch(es []stream.Element) int64 {
 	b.st.RecordInBatch(es[0].TS, es[len(es)-1].TS, len(es))
+	if b.prog != nil {
+		b.curSeq = es[len(es)-1].Seq
+	}
 	b.meterN++
 	if b.meterN%meterBatchEvery == 0 {
 		return monotime()
@@ -196,7 +225,12 @@ func (b *Base) BeginWorkBatch(es []stream.Element) int64 {
 
 // EndWorkBatch completes cost metering begun by BeginWorkBatch over n
 // elements; the c(v) estimator receives the amortized per-element cost.
+// Shard progress, when enabled, advances to the batch's last Seq here,
+// after all of the batch's outputs have been emitted.
 func (b *Base) EndWorkBatch(start int64, n int) {
+	if b.prog != nil {
+		b.prog.done.Store(b.curSeq)
+	}
 	if start >= 0 {
 		b.st.RecordBusyBatch(monotime()-start, n)
 	}

@@ -40,9 +40,21 @@ func (d *Distinct) step(e stream.Element) bool {
 	_, dup := d.seen[e.Key]
 	// Arm or refresh the suppression deadline for this key either way.
 	d.seen[e.Key] = e.TS
-	d.order.push(stream.Element{TS: e.TS, Key: e.Key})
+	d.order.push(stream.Element{TS: e.TS, Key: e.Key, Seq: e.Seq})
 	return !dup
 }
+
+// ExportShardState implements ShardState: the suppression markers still in
+// the window, already in arrival (= Seq) order.
+func (d *Distinct) ExportShardState() []PortedElement {
+	pes := make([]PortedElement, 0, d.order.len())
+	d.order.each(func(e stream.Element) { pes = append(pes, PortedElement{E: e}) })
+	return pes
+}
+
+// ImportShardElement implements ShardState: replaying a marker rebuilds the
+// seen map and window without forwarding anything.
+func (d *Distinct) ImportShardElement(_ int, e stream.Element) { d.step(e) }
 
 // Process implements Sink.
 func (d *Distinct) Process(_ int, e stream.Element) {

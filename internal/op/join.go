@@ -106,13 +106,40 @@ func (j *SHJ) probe(port int, e stream.Element, out []stream.Element) []stream.E
 		if !withinWindow(e.TS, m.TS, j.window) {
 			continue
 		}
+		var r stream.Element
 		if port == 0 {
-			out = append(out, j.merge(e, m))
+			r = j.merge(e, m)
 		} else {
-			out = append(out, j.merge(m, e))
+			r = j.merge(m, e)
 		}
+		// Outputs carry the triggering input's sequence stamp so a
+		// downstream shard Merge can restore emission order; outside a
+		// shard region e.Seq is 0 and this is a no-op.
+		r.Seq = e.Seq
+		out = append(out, r)
 	}
 	return out
+}
+
+// ExportShardState implements ShardState: both sides' window contents,
+// tagged with their input port, in ascending Seq order.
+func (j *SHJ) ExportShardState() []PortedElement {
+	var pes []PortedElement
+	for s := 0; s < 2; s++ {
+		port := s
+		j.sides[s].order.each(func(e stream.Element) { pes = append(pes, PortedElement{Port: port, E: e}) })
+	}
+	SortPortedBySeq(pes)
+	return pes
+}
+
+// ImportShardElement implements ShardState: re-insert a retained element
+// into its side without probing, mirroring the scalar path's expiry.
+func (j *SHJ) ImportShardElement(port int, e stream.Element) {
+	deadline := e.TS - j.window
+	j.sides[0].expire(deadline)
+	j.sides[1].expire(deadline)
+	j.sides[port].insert(e)
 }
 
 // Process implements Sink.

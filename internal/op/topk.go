@@ -69,18 +69,35 @@ func (t *TopK) step(e stream.Element, out []stream.Element) []stream.Element {
 		}
 	}
 	t.counts[e.Key]++
-	t.order.push(stream.Element{TS: e.TS, Key: e.Key})
+	t.order.push(stream.Element{TS: e.TS, Key: e.Key, Seq: e.Seq})
 
 	top := t.Top()
 	newSet := make(map[int64]bool, len(top))
 	for _, k := range top {
 		newSet[k] = true
 		if !t.inTop[k] {
-			out = append(out, stream.Element{TS: e.TS, Key: k, Val: float64(t.counts[k])})
+			out = append(out, stream.Element{TS: e.TS, Key: k, Val: float64(t.counts[k]), Seq: e.Seq})
 		}
 	}
 	t.inTop = newSet
 	return out
+}
+
+// ExportShardState implements ShardState: the count markers still in the
+// window, already in arrival (= Seq) order. Note that under sharding TopK
+// has per-shard semantics: each replica surfaces the heavy hitters of its
+// key partition, not a global top-k.
+func (t *TopK) ExportShardState() []PortedElement {
+	pes := make([]PortedElement, 0, t.order.len())
+	t.order.each(func(e stream.Element) { pes = append(pes, PortedElement{E: e}) })
+	return pes
+}
+
+// ImportShardElement implements ShardState: replay one marker, rebuilding
+// counts and the in-top set without emitting.
+func (t *TopK) ImportShardElement(_ int, e stream.Element) {
+	out := t.step(e, t.scratch(1))
+	t.obuf = out[:0]
 }
 
 // Process implements Sink.

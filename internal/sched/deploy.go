@@ -35,6 +35,11 @@ type Deployment struct {
 	admin   sync.Mutex
 	execGen int
 
+	// single remembers whether the last analyze ran with SingleGroup (GTS)
+	// so a live re-shard can re-analyze without changing the threading
+	// discipline.
+	single bool
+
 	cut      map[graph.EdgeKey]bool
 	comps    [][]int
 	voOf     map[int]int
@@ -187,6 +192,12 @@ func Build(g *graph.Graph, plan Plan, opts Options) (*Deployment, error) {
 	if cut == nil {
 		cut = make(map[graph.EdgeKey]bool)
 	}
+	// Shard-region internal edges must always be cut, whatever the plan
+	// says: fusing split→replica or replica→merge edges into one VO would
+	// run the replicas serially and defeat the data parallelism.
+	for k := range g.MustCut() {
+		cut[k] = true
+	}
 	for k := range cut {
 		if !cut[k] {
 			continue
@@ -224,6 +235,7 @@ func Build(g *graph.Graph, plan Plan, opts Options) (*Deployment, error) {
 
 // analyze computes VOs, executor groups and gates from the current cut.
 func (d *Deployment) analyze(groups [][]int, single bool) error {
+	d.single = single
 	d.comps = d.g.Components(d.cut)
 	d.voOf = make(map[int]int)
 	for vi, comp := range d.comps {
@@ -334,7 +346,11 @@ func (d *Deployment) wire() {
 			a := d.adapters[from.ID]
 			a.targets = append(a.targets, srcTarget{sink: target, port: tport, gate: gate})
 		default:
-			from.Op.Subscribe(target, tport)
+			if sh, ok := d.g.SplitEdgeShard(e); ok {
+				from.Op.(*op.Split).SubscribeShard(sh, e.ToPort, target, tport)
+			} else {
+				from.Op.Subscribe(target, tport)
+			}
 		}
 	}
 }

@@ -44,6 +44,7 @@ func (d *Deployment) SwitchGroups(plan Plan, strategy string) error {
 // analyzeGroupsOnly recomputes the VO→group assignment without touching
 // components, gates or queues.
 func (d *Deployment) analyzeGroupsOnly(groups [][]int, single bool) error {
+	d.single = single
 	old := d.groupOf
 	d.groupOf = make([]int, len(d.comps))
 	for i := range d.groupOf {
@@ -126,6 +127,11 @@ func (d *Deployment) Reconfigure(plan Plan, strategy string) error {
 	newCut := plan.Cut
 	if newCut == nil {
 		newCut = make(map[graph.EdgeKey]bool)
+	}
+	// Shard-region internal edges stay cut in every plan (see Build). They
+	// are in the old cut too, so the splice loops below never touch them.
+	for k := range d.g.MustCut() {
+		newCut[k] = true
 	}
 	for k, v := range newCut {
 		if v && d.g.Node(k.To).Kind == graph.KindSink {

@@ -145,6 +145,47 @@ func Scenarios() map[string]Scenario {
 		},
 	})
 
+	// shard: the data-parallel region under fire — the stateful aggregation
+	// runs split across key-partitioned replicas with bounded queues while
+	// bursts land, and the replica count is grown and shrunk live mid-burst.
+	// The SLOs are deadlock tripwires: a reshard that wedges the region, a
+	// merge that stops releasing, or a bounded queue that deadlocks all show
+	// up as starved throughput or unbounded backlog.
+	add(Scenario{
+		Name:        "shard",
+		Description: "sharded aggregation with live replica-count changes mid-burst, ~9s",
+		Duration:    9 * time.Second,
+		Shape: workload.BurstShape{
+			BaseHz:   3_000,
+			BurstHz:  15_000,
+			PeriodNS: (4 * time.Second).Nanoseconds(),
+			BurstNS:  time.Second.Nanoseconds(),
+			OffsetNS: time.Second.Nanoseconds(),
+		},
+		Keys:       4096,
+		ZipfS:      1.2,
+		Seed:       23,
+		Mode:       hmts.ModeHMTS,
+		QueueBound: 4096,
+		Policy:     hmts.Block,
+		Buffer:     8192,
+		OpCostNS:   5_000,
+		Window:     500 * time.Millisecond,
+		Shards:     2,
+		Faults: []Fault{
+			{Kind: FaultReshard, At: 2500 * time.Millisecond, Shards: 4}, // grow inside the first burst
+			{Kind: FaultReshard, At: 5500 * time.Millisecond, Shards: 1}, // shrink to a single replica
+			{Kind: FaultReshard, At: 7 * time.Second, Shards: 3},
+		},
+		SLOs: []slo.Assertion{
+			slo.LatencyBelow{Q: slo.P50, Bound: 2 * time.Second, Frac: 0.7},
+			slo.LatencyBelow{Q: slo.P99, Bound: 5 * time.Second, Frac: 0.7},
+			slo.BoundedBacklog{MaxIngress: 8192, MaxQueue: 3 * 4096},
+			slo.MinThroughput{PerSec: 200, Frac: 0.6},
+			slo.MaxDropFrac{Frac: 0}, // Block policy: nothing may be shed
+		},
+	})
+
 	// switchstorm: live reconfiguration under fire — mode and placement
 	// switches every few seconds while bursts land. The engine must never
 	// wedge and the measured path must keep flowing between switches.

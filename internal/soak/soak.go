@@ -47,6 +47,9 @@ const (
 	FaultRebalance
 	// FaultShed engages emergency shedding at At and releases it at Until.
 	FaultShed
+	// FaultReshard changes the replica count of the stateful aggregation's
+	// shard region to Shards at At (requires Scenario.Shards > 0).
+	FaultReshard
 )
 
 // String names the kind.
@@ -62,6 +65,8 @@ func (k FaultKind) String() string {
 		return "rebalance"
 	case FaultShed:
 		return "shed"
+	case FaultReshard:
+		return "reshard"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -78,6 +83,8 @@ type Fault struct {
 	// Mode and Strategy parameterize FaultSwitchMode.
 	Mode     hmts.Mode
 	Strategy string
+	// Shards is the new replica count for FaultReshard.
+	Shards int
 }
 
 // Scenario is a declarative soak run.
@@ -104,6 +111,9 @@ type Scenario struct {
 	OpCostNS int64
 	// Window is the aggregation window of the stateful branch.
 	Window time.Duration
+	// Shards > 0 shards the stateful aggregation across that many
+	// key-partitioned replicas (and enables FaultReshard).
+	Shards int
 	// Sample bounds the per-second latency reservoir (0 = default).
 	Sample int
 	// Faults is the injection timeline.
@@ -209,9 +219,11 @@ func Run(sc Scenario, w io.Writer) *Result {
 	if window <= 0 {
 		window = time.Second
 	}
-	aggDone := src.
-		Aggregate("agg", hmts.Count, window, func(e hmts.Element) int64 { return e.Key }).
-		Discard("agg-null")
+	agg := src.Aggregate("agg", hmts.Count, window, func(e hmts.Element) int64 { return e.Key })
+	if sc.Shards > 0 {
+		agg = agg.Shard(sc.Shards)
+	}
+	aggDone := agg.Discard("agg-null")
 
 	if err := eng.Run(hmts.RunConfig{
 		Mode:       sc.Mode,
@@ -419,6 +431,13 @@ func runFaults(eng *hmts.Engine, sc Scenario, cost *op.CostSim, sink *monitorSin
 				mon.Event("rebalance")
 				if err := eng.Rebalance(); err != nil {
 					logf("fault rebalance: %v", err)
+				}
+			}})
+		case FaultReshard:
+			steps = append(steps, step{f.At, func() {
+				mon.Event(fmt.Sprintf("reshard:%d", f.Shards))
+				if err := eng.Reshard("agg", f.Shards); err != nil {
+					logf("fault reshard: %v", err)
 				}
 			}})
 		case FaultShed:

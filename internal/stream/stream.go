@@ -28,6 +28,12 @@ type Element struct {
 	Val float64
 	// Aux is an optional application payload carried through unchanged.
 	Aux any
+	// Seq is an engine-internal ordering tag used only inside a sharded
+	// region of the graph: the hash Split stamps every element with a
+	// strictly increasing sequence number and the order-restoring Merge
+	// releases elements in Seq order, then zeroes the field. Outside a
+	// split→replicas→merge region Seq is always 0 and must be ignored.
+	Seq uint64
 }
 
 // String renders the element compactly for logs and tests.

@@ -61,6 +61,16 @@ func ingestMetricsFrom(name string, st ingest.Stats) IngestMetrics {
 	}
 }
 
+// ShardMetrics is a snapshot of one shard region's load distribution.
+type ShardMetrics struct {
+	Name string   // the region's name (the original operator's)
+	N    int      // current replica count
+	In   []uint64 // elements routed to each replica so far
+	// Skew is max(In)/mean(In): 1.0 is a perfectly even split, n means one
+	// replica absorbed everything. 0 before any input arrives.
+	Skew float64
+}
+
 // Metrics is an engine-wide snapshot.
 type Metrics struct {
 	Mode      Mode // current scheduling mode
@@ -68,12 +78,15 @@ type Metrics struct {
 	Ops       []OpMetrics
 	Queues    []QueueMetrics
 	Ingest    []IngestMetrics // external sources' ingress buffers
+	Shards    []ShardMetrics  // shard regions' per-replica load
 	VOs       [][]int
 }
 
 // Metrics captures a snapshot of per-operator and per-queue statistics of
 // a running (or finished) engine.
 func (e *Engine) Metrics() Metrics {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var m Metrics
 	m.Mode = e.cfg.Mode
 	if e.d != nil {
@@ -98,6 +111,22 @@ func (e *Engine) Metrics() Metrics {
 		}
 	}
 	sort.Slice(m.Ingest, func(i, j int) bool { return m.Ingest[i].Name < m.Ingest[j].Name })
+	for _, gr := range e.g.ShardGroups() {
+		sm := ShardMetrics{Name: gr.Name, N: len(gr.Replicas)}
+		var max, total uint64
+		for _, rn := range gr.Replicas {
+			in := rn.Op.Stats().In()
+			sm.In = append(sm.In, in)
+			total += in
+			if in > max {
+				max = in
+			}
+		}
+		if total > 0 {
+			sm.Skew = float64(max) * float64(sm.N) / float64(total)
+		}
+		m.Shards = append(m.Shards, sm)
+	}
 	if e.d != nil {
 		for _, q := range e.d.Queues() {
 			m.Queues = append(m.Queues, QueueMetrics{
@@ -135,6 +164,12 @@ func (m Metrics) String() string {
 		for _, in := range m.Ingest {
 			fmt.Fprintf(&b, "  %-16s accepted=%-10d dropped=%-10d len=%-6d cap=%-6d max=%-6d lag=%-10d policy=%s shed=%v closed=%v\n",
 				in.Name, in.Accepted, in.Dropped, in.Len, in.Cap, in.MaxLen, in.LagNS, in.Policy, in.Shedding, in.Closed)
+		}
+	}
+	if len(m.Shards) > 0 {
+		b.WriteString("shards:\n")
+		for _, s := range m.Shards {
+			fmt.Fprintf(&b, "  %-16s n=%-3d skew=%.2f in=%v\n", s.Name, s.N, s.Skew, s.In)
 		}
 	}
 	if len(m.VOs) > 0 {

@@ -68,6 +68,10 @@ type Query struct {
 	Window     time.Duration // aggregate time window
 	WindowRows int           // aggregate ROWS window (exclusive with Window)
 	Having     Expr          // filter over aggregate output (val = aggregate, key = group)
+	// Shards key-partitions the query's stateful operator across this many
+	// replicas (SHARD n). Applies to the grouped aggregate when present,
+	// otherwise to the join; 0 means unsharded.
+	Shards int
 }
 
 // String renders the query canonically.
@@ -97,6 +101,9 @@ func (q *Query) String() string {
 	}
 	if q.Having != nil {
 		s += " having " + q.Having.String()
+	}
+	if q.Shards > 0 {
+		s += fmt.Sprintf(" shard %d", q.Shards)
 	}
 	return s
 }

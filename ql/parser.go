@@ -70,7 +70,7 @@ func (p *parser) expectSym(s string) error {
 
 // query := SELECT sel FROM ident [JOIN ident WINDOW dur] [WHERE expr]
 //
-//	[GROUP BY KEY] [WINDOW dur]
+//	[GROUP BY KEY] [WINDOW dur] [HAVING expr] [SHARD n]
 func (p *parser) query() (*Query, error) {
 	if err := p.expectKw("select"); err != nil {
 		return nil, err
@@ -153,7 +153,20 @@ func (p *parser) query() (*Query, error) {
 		}
 		q.Having = e
 	}
+	if p.acceptKw("shard") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected shard count, found %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("ql: SHARD count must be a positive integer")
+		}
+		q.Shards = n
+	}
 	// Semantic checks.
+	if q.Shards > 0 && !(q.GroupBy && q.Agg != AggNone) && q.Join == "" {
+		return nil, fmt.Errorf("ql: SHARD requires a grouped aggregate or a join (key partitioning)")
+	}
 	if q.Agg != AggNone && q.Window == 0 && q.WindowRows == 0 {
 		return nil, fmt.Errorf("ql: aggregate query needs WINDOW")
 	}

@@ -23,6 +23,11 @@ func Plan(eng *hmts.Engine, sources map[string]*hmts.Stream, q *Query) (*hmts.St
 			return nil, fmt.Errorf("ql: unknown source %q", q.Join)
 		}
 		s = s.Join(fmt.Sprintf("join(%s,%s)", q.From, q.Join), other, q.JoinWin, nil)
+		// SHARD partitions the join unless a grouped aggregate follows — the
+		// aggregate is then the stateful operator the clause addresses.
+		if q.Shards > 0 && !(q.GroupBy && q.Agg != AggNone) {
+			s = s.Shard(q.Shards)
+		}
 	}
 	if q.Where != nil {
 		pred := q.Where
@@ -68,6 +73,9 @@ func Plan(eng *hmts.Engine, sources map[string]*hmts.Stream, q *Query) (*hmts.St
 			s = s.AggregateRows(aggName, kind, q.WindowRows, group)
 		} else {
 			s = s.Aggregate(aggName, kind, q.Window, group)
+		}
+		if q.Shards > 0 && q.GroupBy {
+			s = s.Shard(q.Shards)
 		}
 		if q.Having != nil {
 			having := q.Having

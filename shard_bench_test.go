@@ -1,0 +1,93 @@
+package hmts_test
+
+// BenchmarkShardScaling measures the tentpole of the shard rewrite: a hot
+// filter → map → grouped-aggregate chain whose aggregate runs unsharded
+// and at 1/2/4/8 replicas. Throughput should scale near-linearly with the
+// replica count up to the machine's core count on multicore hardware (a
+// single-core box serializes the replicas and measures only the rewrite's
+// overhead). Tracked in BENCH_shard.json via make bench / make benchdiff.
+
+import (
+	"fmt"
+	"testing"
+
+	hmts "github.com/dsms/hmts"
+)
+
+func benchShardChain(b *testing.B, shards int) {
+	// Precompute a zipf-keyed input pool once; pushes cycle through it.
+	const pool = 1 << 14
+	gen := hmts.ZipfKeys(1024, 1.1, 99)
+	in := make([]hmts.Element, pool)
+	for i := range in {
+		in[i] = gen(i)
+		in[i].TS = int64(i+1) * 1000
+		in[i].Val = 1
+	}
+
+	eng := hmts.New()
+	ext := hmts.External("ext", hmts.ExternalConfig{Buffer: 8192, Batch: 512})
+	s := eng.Source("src", ext.Spec()).
+		Where("odd", func(e hmts.Element) bool { return e.Key%2 == 1 }).
+		Map("scale", func(e hmts.Element) hmts.Element { e.Val *= 2; return e }).
+		AggregateRows("agg", hmts.Sum, 64, func(e hmts.Element) int64 { return e.Key })
+	if shards > 0 {
+		s = s.Shard(shards)
+	}
+	w := s.Discard("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeDI, QueueBound: 4096})
+
+	b.ResetTimer()
+	pushed := 0
+	for pushed < b.N {
+		k := len(in)
+		if rem := b.N - pushed; rem < k {
+			k = rem
+		}
+		pushed += ext.PushBatch(in[:k])
+	}
+	ext.Close()
+	w.Wait()
+	b.StopTimer()
+	if err := eng.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkShardScaling(b *testing.B) {
+	b.Run("unsharded", func(b *testing.B) { benchShardChain(b, 0) })
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) { benchShardChain(b, n) })
+	}
+}
+
+// BenchmarkLiveReshard measures the full stop-the-world splice: drain,
+// state export, re-hash replay and re-deployment of a loaded region.
+func BenchmarkLiveReshard(b *testing.B) {
+	gen := hmts.ZipfKeys(1024, 1.1, 99)
+	eng := hmts.New()
+	ext := hmts.External("ext", hmts.ExternalConfig{Buffer: 8192})
+	w := eng.Source("src", ext.Spec()).
+		AggregateRows("agg", hmts.Sum, 64, func(e hmts.Element) int64 { return e.Key }).
+		Shard(2).
+		Discard("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeDI, QueueBound: 4096})
+	// Load the windows with live state so every resize re-hashes it.
+	for i := 0; i < 50_000; i++ {
+		e := gen(i)
+		e.TS = int64(i+1) * 1000
+		ext.Push(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Reshard("agg", 2+i%3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ext.Close()
+	w.Wait()
+	if err := eng.Err(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package hmts_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// groupKey is the partition key the shard tests group on.
+func groupKey(e hmts.Element) int64 { return e.Key }
+
+// runShardedAgg runs filter → map → grouped aggregate (sharded n ways when
+// n > 0) over the same deterministic zipf workload and returns the
+// collected output.
+func runShardedAgg(t *testing.T, mode hmts.Mode, n, elems, bound int) []hmts.Element {
+	t.Helper()
+	eng := hmts.New()
+	src := eng.Source("src", hmts.GenerateStamped(elems, 1e6, hmts.ZipfKeys(64, 1.2, 42)))
+	s := src.
+		Where("odd", func(e hmts.Element) bool { return e.Key%2 == 1 }).
+		Map("scale", func(e hmts.Element) hmts.Element { e.Val += 1; return e }).
+		Aggregate("agg", hmts.Sum, time.Hour, groupKey)
+	if n > 0 {
+		s = s.Shard(n)
+	}
+	sink := s.Collect("out")
+	eng.MustRun(hmts.RunConfig{Mode: mode, QueueBound: bound})
+	eng.Wait()
+	sink.Wait()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("mode=%v n=%d: %v", mode, n, err)
+	}
+	return sink.Elements()
+}
+
+// TestShardEquivalenceAllModes: the merged output of a sharded grouped
+// aggregate is byte-identical to the unsharded plan for every shard count,
+// scheduling mode and queue bound.
+func TestShardEquivalenceAllModes(t *testing.T) {
+	const elems = 20_000
+	for _, mode := range []hmts.Mode{hmts.ModeGTS, hmts.ModeDI, hmts.ModeHMTS} {
+		ref := runShardedAgg(t, mode, 0, elems, 0)
+		if len(ref) == 0 {
+			t.Fatalf("mode=%v: reference run produced nothing", mode)
+		}
+		for _, n := range []int{1, 2, 4} {
+			for _, bound := range []int{0, 64} {
+				got := runShardedAgg(t, mode, n, elems, bound)
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("mode=%v n=%d bound=%d: sharded output diverges (%d vs %d elements)",
+						mode, n, bound, len(got), len(ref))
+				}
+			}
+		}
+	}
+}
+
+// TestLiveReshard grows and shrinks the replica count of a running region
+// mid-stream — under bounded queues — and the final output must still be
+// byte-identical to an unsharded run over the same pushes.
+func TestLiveReshard(t *testing.T) {
+	const total = 30_000
+
+	run := func(shards bool) []hmts.Element {
+		gen := hmts.ZipfKeys(64, 1.2, 7) // fresh generator: Gen closures are stateful
+		mkInput := func(i int) hmts.Element {
+			e := gen(i)
+			e.TS = int64(i+1) * 1000 // nonzero: External stamps TS=0 with arrival time
+			e.Val = 1
+			return e
+		}
+		eng := hmts.New()
+		ext := hmts.External("ext", hmts.ExternalConfig{Buffer: 512})
+		s := eng.Source("src", ext.Spec()).
+			Aggregate("agg", hmts.Sum, time.Hour, groupKey)
+		if shards {
+			s = s.Shard(2)
+		}
+		sink := s.Collect("out")
+		eng.MustRun(hmts.RunConfig{Mode: hmts.ModeDI, QueueBound: 128})
+		for i := 0; i < total; i++ {
+			ext.Push(mkInput(i))
+			if shards {
+				switch i {
+				case total / 3:
+					if err := eng.Reshard("agg", 4); err != nil {
+						t.Fatalf("grow: %v", err)
+					}
+				case 2 * total / 3:
+					if err := eng.Reshard("agg", 1); err != nil {
+						t.Fatalf("shrink: %v", err)
+					}
+				}
+			}
+		}
+		ext.Close()
+		eng.Wait()
+		sink.Wait()
+		if err := eng.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if shards {
+			var sm []hmts.ShardMetrics
+			for _, s := range eng.Metrics().Shards {
+				sm = append(sm, s)
+			}
+			if len(sm) != 1 || sm[0].N != 1 || sm[0].Name != "agg" {
+				t.Fatalf("shard metrics after reshard: %+v", sm)
+			}
+		}
+		return sink.Elements()
+	}
+
+	ref := run(false)
+	got := run(true)
+	if len(ref) != total {
+		t.Fatalf("reference emitted %d, want %d", len(ref), total)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		for i := range ref {
+			if i < len(got) && ref[i] != got[i] {
+				t.Fatalf("outputs diverge at %d: %v vs %v (%d vs %d total)", i, got[i], ref[i], len(got), len(ref))
+			}
+		}
+		t.Fatalf("outputs diverge in length: %d vs %d", len(got), len(ref))
+	}
+}
+
+// TestPreRunReshard: before Run, resizing is pure graph surgery.
+func TestPreRunReshard(t *testing.T) {
+	eng := hmts.New()
+	src := eng.Source("src", hmts.GenerateStamped(5000, 1e6, hmts.UniformKeys(0, 32, 3)))
+	s := src.Aggregate("agg", hmts.Count, time.Hour, groupKey).Shard(2)
+	sink := s.Collect("out")
+	if err := eng.Reshard("agg", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Reshard("nope", 2); err == nil || !strings.Contains(err.Error(), "no shard region") {
+		t.Fatalf("want unknown-region error, got %v", err)
+	}
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeHMTS})
+	eng.Wait()
+	sink.Wait()
+	if sink.Len() != 5000 {
+		t.Fatalf("got %d outputs, want 5000", sink.Len())
+	}
+	m := eng.Metrics()
+	if len(m.Shards) != 1 || m.Shards[0].N != 5 {
+		t.Fatalf("shard metrics: %+v", m.Shards)
+	}
+	if m.Shards[0].Skew < 1 {
+		t.Fatalf("skew %v < 1 after input", m.Shards[0].Skew)
+	}
+	if !strings.Contains(m.String(), "shards:") {
+		t.Fatal("metrics report misses the shards section")
+	}
+}
+
+// TestShardRejectsUnkeyed: operators without key partitioning refuse to
+// shard, loudly.
+func TestShardRejectsUnkeyed(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Shard must panic", name)
+			}
+		}()
+		f()
+	}
+	eng := hmts.New()
+	src := eng.Source("src", hmts.GenerateStamped(10, 1e6, hmts.SeqKeys()))
+	mustPanic("filter", func() {
+		src.Where("w", func(hmts.Element) bool { return true }).Shard(2)
+	})
+	mustPanic("whole-stream agg", func() {
+		src.Aggregate("a", hmts.Sum, time.Hour, nil).Shard(2)
+	})
+}
