@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet build test race saturation bench benchsmoke bounded soakshort soakshard benchdiff fuzzsmoke
+.PHONY: ci vet build test race saturation bench benchsmoke bounded soakshort soakshard soakautoscale benchdiff fuzzsmoke
 
 # The gate every PR must pass. benchsmoke compiles and runs every benchmark
 # once so a PR cannot rot the measurement harness silently; soakshort runs
 # the canonical burst + stall + live-reconfigure soak scenario with SLO
 # assertions; soakshard does the same for the data-parallel shard region
-# with live replica-count changes; benchdiff re-measures the tracked
-# benchmarks and fails on regressions beyond the tolerance band.
-ci: vet build test race saturation benchsmoke bounded soakshort soakshard benchdiff
+# with live replica-count changes; soakautoscale closes the control loop
+# (the autoscaler must grow and shrink the region on its own); benchdiff
+# re-measures the tracked benchmarks and fails on regressions beyond the
+# tolerance band.
+ci: vet build test race saturation benchsmoke bounded soakshort soakshard soakautoscale benchdiff
 
 # Covers cmd/ as well as internal/ — ./... is the whole module.
 vet:
@@ -54,12 +56,14 @@ bench:
 	@echo wrote BENCH_ops.json
 	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_shard.json
 	@echo wrote BENCH_shard.json
+	$(GO) test -bench . -benchmem ./adapt | $(GO) run ./cmd/benchjson > BENCH_adapt.json
+	@echo wrote BENCH_adapt.json
 
 # One iteration of every benchmark: a compile-and-smoke pass for ci. The
 # root package runs only the shard benches — the Fig* experiment benchmarks
 # are full evaluation runs and far too slow for a smoke pass.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./cmd/hmtsd
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./cmd/hmtsd ./adapt
 	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchtime 1x .
 
 # The canonical soak gate: ~9 seconds of open-loop bursty load through the
@@ -74,6 +78,14 @@ soakshort:
 # mid-run. Catches reshard deadlocks, stuck merges and lost elements.
 soakshard:
 	$(GO) run ./cmd/hmtssoak -scenario shard
+
+# The autoscaling soak gate: a 10x ramp-hold-decay against a sharded
+# aggregation with NO scripted reshards — the adapt.Autoscaler must grow
+# the replica count from measured c(v)/d(v) on the ramp and shrink it back
+# on the decay, within a reshard budget that forbids flapping, with zero
+# drops under Block-policy bounded queues.
+soakautoscale:
+	$(GO) run ./cmd/hmtssoak -scenario autoscale
 
 # Perf-regression gate: re-measure the tracked benchmark suites with a
 # short benchtime (two repetitions, min taken) and diff against the
@@ -90,10 +102,12 @@ benchdiff:
 	  $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./cmd/hmtsd; } | $(GO) run ./cmd/benchjson > .bench/ingest.json
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./internal/op | $(GO) run ./cmd/benchjson > .bench/ops.json
 	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 . | $(GO) run ./cmd/benchjson > .bench/shard.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./adapt | $(GO) run ./cmd/benchjson > .bench/adapt.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_sched.json .bench/sched.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ingest.json .bench/ingest.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ops.json .bench/ops.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_shard.json .bench/shard.json
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_adapt.json .bench/adapt.json
 
 # Short fuzz pass over the hmtsd line protocol and the order-restoring
 # shard merge; the corpora keep growing under testdata/fuzz as failures

@@ -37,6 +37,9 @@ const (
 	// SwitchHMTS moves the running engine to the hybrid architecture
 	// (Engine.SwitchMode to ModeHMTS).
 	SwitchHMTS
+	// Reshard changes a shard region's replica count (Engine.Reshard);
+	// the Proposal carries the region name and target count.
+	Reshard
 )
 
 // String names the action.
@@ -52,14 +55,47 @@ func (a Action) String() string {
 		return "rebalance"
 	case SwitchHMTS:
 		return "switch-hmts"
+	case Reshard:
+		return "reshard"
 	}
 	return "Action(?)"
 }
 
+// Proposal is one parameterized action a policy wants executed. Region and
+// Shards are meaningful for Reshard only.
+type Proposal struct {
+	Act    Action
+	Region string // Reshard: the shard region to resize
+	Shards int    // Reshard: the target replica count
+}
+
 // Policy inspects a metrics snapshot and proposes an action.
+//
+// A policy must not assume a non-None return value was executed: the
+// controller may drop the proposal at its cooldown gate. State that has to
+// track what actually ran (an engaged flag, a persist-counter reset)
+// belongs in Commit — implement Committer and flip it there.
 type Policy interface {
 	Name() string
 	Evaluate(m hmts.Metrics) Action
+}
+
+// Advisor is the extended policy interface for parameterized or multi-part
+// decisions: Propose returns any number of proposals per step (one per
+// shard region, say). When a policy implements Advisor the controller
+// calls Propose and ignores Evaluate.
+type Advisor interface {
+	Policy
+	Propose(m hmts.Metrics) []Proposal
+}
+
+// Committer receives execution feedback: the controller calls Commit
+// exactly once per executed proposal, after the action ran, with the
+// action's error. Proposals dropped by the cooldown gate are never
+// committed, so a policy's internal state cannot drift from what the
+// engine actually did.
+type Committer interface {
+	Commit(pr Proposal, err error)
 }
 
 // Event records one controller decision, for observability and tests.
@@ -67,7 +103,12 @@ type Event struct {
 	At     time.Time
 	Policy string
 	Action Action
-	Err    error
+	Region string // Reshard: target region
+	Shards int    // Reshard: target replica count
+	// Dropped marks a proposal suppressed by the cooldown gate; it was
+	// recorded for observability but never executed.
+	Dropped bool
+	Err     error
 }
 
 // Controller drives the adaptation loop.
@@ -150,46 +191,83 @@ func (c *Controller) Stop() {
 }
 
 // Step runs one evaluation immediately (exposed for deterministic tests).
-// It returns the action taken.
+// It returns the first action attempted, or None.
+//
+// The cooldown gate is snapshotted once per step: either the whole step is
+// cooling — every proposal is recorded as a Dropped event and nothing
+// executes — or none of it is, and every proposal from every policy
+// executes. Evaluating all policies either way means an early chatty
+// policy (a Rebalance that fires each period, say) cannot silence a later
+// ShedOff for the length of its cooldown storm, which is exactly how the
+// pre-fix controller wedged sources in permanent shed.
 func (c *Controller) Step() Action {
 	c.stepMu.Lock()
 	defer c.stepMu.Unlock()
 	m := c.eng.Metrics()
-	for _, p := range c.policies {
-		act := p.Evaluate(m)
-		if act == None {
-			continue
-		}
-		c.mu.Lock()
-		if time.Since(c.last) < c.cooldown {
-			c.mu.Unlock()
-			return None
-		}
-		c.mu.Unlock()
+	c.mu.Lock()
+	cooling := time.Since(c.last) < c.cooldown
+	c.mu.Unlock()
 
-		var err error
-		switch act {
-		case ShedOn:
-			c.eng.Shed(true)
-		case ShedOff:
-			c.eng.Shed(false)
-		case Rebalance:
-			err = c.eng.Rebalance()
-		case SwitchHMTS:
-			err = c.eng.SwitchMode(hmts.ModeHMTS, "")
+	first := None
+	executed := false
+	for _, p := range c.policies {
+		var prs []Proposal
+		if adv, ok := p.(Advisor); ok {
+			prs = adv.Propose(m)
+		} else if act := p.Evaluate(m); act != None {
+			prs = []Proposal{{Act: act}}
 		}
-		// A failed action did no re-planning, so it must not burn the
-		// cooldown and silence every policy for a full window; the error
-		// is still recorded as an event.
-		if err == nil {
-			c.mu.Lock()
-			c.last = time.Now()
-			c.mu.Unlock()
+		for _, pr := range prs {
+			if pr.Act == None {
+				continue
+			}
+			if cooling {
+				c.record(Event{At: time.Now(), Policy: p.Name(), Action: pr.Act,
+					Region: pr.Region, Shards: pr.Shards, Dropped: true})
+				continue
+			}
+			err := c.execute(pr)
+			// Commit runs strictly after the action, so policy state
+			// (an engaged flag, a persist counter) reflects what the
+			// engine actually did — never a proposal that was dropped.
+			if cm, ok := p.(Committer); ok {
+				cm.Commit(pr, err)
+			}
+			if first == None {
+				first = pr.Act
+			}
+			if err == nil {
+				executed = true
+			}
+			c.record(Event{At: time.Now(), Policy: p.Name(), Action: pr.Act,
+				Region: pr.Region, Shards: pr.Shards, Err: err})
 		}
-		c.record(Event{At: time.Now(), Policy: p.Name(), Action: act, Err: err})
-		return act
 	}
-	return None
+	// A failed action did no re-planning, so it must not burn the cooldown
+	// and silence every policy for a full window; the errors are still
+	// recorded as events.
+	if executed {
+		c.mu.Lock()
+		c.last = time.Now()
+		c.mu.Unlock()
+	}
+	return first
+}
+
+func (c *Controller) execute(pr Proposal) error {
+	switch pr.Act {
+	case ShedOn:
+		c.eng.Shed(true)
+	case ShedOff:
+		c.eng.Shed(false)
+	case Rebalance:
+		return c.eng.Rebalance()
+	case SwitchHMTS:
+		return c.eng.SwitchMode(hmts.ModeHMTS, "")
+	case Reshard:
+		return c.eng.Reshard(pr.Region, pr.Shards)
+	}
+	return nil
 }
 
 func (c *Controller) record(ev Event) {

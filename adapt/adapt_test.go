@@ -263,14 +263,18 @@ func TestControllerCooldownNotChargedOnError(t *testing.T) {
 		t.Fatalf("step 3 = %v, want None under cooldown", got)
 	}
 	evs := c.Events()
-	if len(evs) != 2 {
+	if len(evs) != 3 {
 		t.Fatalf("events %+v", evs)
 	}
 	if evs[0].Action != Rebalance || evs[0].Err == nil {
 		t.Fatalf("failed action must still be recorded with its error: %+v", evs[0])
 	}
-	if evs[1].Action != ShedOn || evs[1].Err != nil {
+	if evs[1].Action != ShedOn || evs[1].Err != nil || evs[1].Dropped {
 		t.Fatalf("event 2: %+v", evs[1])
+	}
+	// The cooled-down third proposal is observable as a dropped event.
+	if evs[2].Action != ShedOn || !evs[2].Dropped {
+		t.Fatalf("event 3 should record the cooldown drop: %+v", evs[2])
 	}
 }
 
@@ -321,8 +325,13 @@ func TestShedOnOverloadPolicy(t *testing.T) {
 	if a := p.Evaluate(mk(2)); a != ShedOn {
 		t.Fatalf("persistent overload must engage: %v", a)
 	}
+	if p.Engaged() {
+		t.Fatal("engaged must not flip before the action executed")
+	}
+	// The controller executes the action and reports back.
+	p.Commit(Proposal{Act: ShedOn}, nil)
 	if !p.Engaged() {
-		t.Fatal("policy should report engaged")
+		t.Fatal("policy should report engaged after commit")
 	}
 	if a := p.Evaluate(mk(2)); a != None {
 		t.Fatal("already engaged: no repeat action")
@@ -339,6 +348,7 @@ func TestShedOnOverloadPolicy(t *testing.T) {
 	if a := p.Evaluate(mk(0.3)); a != ShedOff {
 		t.Fatal("persistent calm must release")
 	}
+	p.Commit(Proposal{Act: ShedOff}, nil)
 	if p.Engaged() {
 		t.Fatal("policy should report released")
 	}

@@ -1,0 +1,240 @@
+package adapt
+
+import (
+	"math"
+	"sync/atomic"
+
+	hmts "github.com/dsms/hmts"
+)
+
+// Autoscaler closes the loop from the paper's capacity model to shard
+// counts: each controller period it computes every shard region's load as
+// the sum of its replicas' measured c(v)/d(v) (cost over event-time
+// interarrival, the per-operator utilization of §5.1.1), solves the
+// replica count that would bring per-replica load down to Headroom, and
+// proposes Reshard actions the controller actuates through
+// Engine.Reshard. Three mechanisms keep it from thrashing a live system:
+//
+//   - Hysteresis: a reshard is proposed only when per-replica pressure
+//     crosses ScaleUpAt (or drops under ScaleDownAt) and stays there for
+//     Persist consecutive observations, so a 10x diurnal swing reshards a
+//     handful of times instead of tracking every wiggle.
+//   - Migration-cost awareness: a region's estimated state-handoff pause
+//     (ShardMetrics.PauseEstNS, from retained rows and the deployment's
+//     measured per-row cost) above PauseBudgetNS vetoes the reshard —
+//     rescaling that would hurt latency more than the imbalance does.
+//   - Skew escape hatch: a region whose Skew shows one replica absorbing
+//     most of the input is not scaled up — the load is one hot key, and
+//     hashing it across more replicas cannot split it.
+//
+// The planner is pure state-machine over metrics snapshots (no clocks, no
+// goroutines), so tests drive it deterministically with scripted traces.
+type Autoscaler struct {
+	// Headroom is the per-replica utilization the solved replica count
+	// aims for: target = ceil(u_region / Headroom). Values <= 0 default
+	// to 0.7 — size for 70% busy replicas.
+	Headroom float64
+	// ScaleUpAt is the per-replica pressure above which growing is
+	// considered (values <= 0 default to 1.25x Headroom). It must exceed
+	// Headroom or a just-rescaled region re-triggers immediately.
+	ScaleUpAt float64
+	// ScaleDownAt is the per-replica pressure below which shrinking is
+	// considered (values <= 0 default to 0.5x Headroom).
+	ScaleDownAt float64
+	// MaxReplicas caps the solved count (values < 1 default to 8).
+	MaxReplicas int
+	// Persist is how many consecutive observations pressure must sit
+	// beyond a band before a reshard is proposed (values <= 0 default 3).
+	Persist int
+	// MinSamples is the per-replica processed-element floor below which a
+	// cost measurement is ignored (0 defaults to 100).
+	MinSamples uint64
+	// MaxSkew is the input fraction one replica may absorb before
+	// scale-up is vetoed as hot-key skew (values <= 0 or >= 1 default to
+	// 0.8). Only meaningful at 2+ replicas: a single replica trivially
+	// absorbs everything.
+	MaxSkew float64
+	// PauseBudgetNS vetoes any reshard whose estimated state-handoff
+	// pause exceeds it (values <= 0 default to 100ms).
+	PauseBudgetNS int64
+
+	regions map[string]*regionTrend
+
+	skewVetoes  atomic.Int64
+	pauseVetoes atomic.Int64
+	reshards    atomic.Int64
+}
+
+// regionTrend is the per-region hysteresis state.
+type regionTrend struct {
+	up, down int // consecutive observations beyond each band (saturating)
+}
+
+// Name implements Policy.
+func (*Autoscaler) Name() string { return "autoscaler" }
+
+// Evaluate implements Policy; the controller uses Propose (Advisor) and
+// never calls this.
+func (*Autoscaler) Evaluate(hmts.Metrics) Action { return None }
+
+// SkewVetoes reports how many scale-ups were vetoed by hot-key skew.
+func (a *Autoscaler) SkewVetoes() int64 { return a.skewVetoes.Load() }
+
+// PauseVetoes reports how many reshards were vetoed by migration cost.
+func (a *Autoscaler) PauseVetoes() int64 { return a.pauseVetoes.Load() }
+
+// Reshards reports how many reshard proposals were committed successfully.
+func (a *Autoscaler) Reshards() int64 { return a.reshards.Load() }
+
+// Propose implements Advisor: one pass over the regions in the snapshot,
+// returning a Reshard proposal per region whose pressure has persisted
+// beyond a hysteresis band and that no veto protects.
+func (a *Autoscaler) Propose(m hmts.Metrics) []Proposal {
+	headroom := a.Headroom
+	if headroom <= 0 {
+		headroom = 0.7
+	}
+	upAt := a.ScaleUpAt
+	if upAt <= 0 {
+		upAt = 1.25 * headroom
+	}
+	downAt := a.ScaleDownAt
+	if downAt <= 0 {
+		downAt = 0.5 * headroom
+	}
+	maxN := a.MaxReplicas
+	if maxN < 1 {
+		maxN = 8
+	}
+	persist := a.Persist
+	if persist <= 0 {
+		persist = 3
+	}
+	minIn := a.MinSamples
+	if minIn == 0 {
+		minIn = 100
+	}
+	maxSkew := a.MaxSkew
+	if maxSkew <= 0 || maxSkew >= 1 {
+		maxSkew = 0.8
+	}
+	budget := a.PauseBudgetNS
+	if budget <= 0 {
+		budget = 100e6
+	}
+	if a.regions == nil {
+		a.regions = make(map[string]*regionTrend)
+	}
+
+	ops := make(map[string]hmts.OpMetrics, len(m.Ops))
+	for _, o := range m.Ops {
+		ops[o.Name] = o
+	}
+
+	var prs []Proposal
+	live := make(map[string]struct{}, len(m.Shards))
+	for _, s := range m.Shards {
+		live[s.Name] = struct{}{}
+		tr := a.regions[s.Name]
+		if tr == nil {
+			tr = &regionTrend{}
+			a.regions[s.Name] = tr
+		}
+		// Region load: sum of replica c(v)/d(v). Replica interarrival is
+		// measured per replica, so each term is that replica's own
+		// utilization and the sum is the whole region's demand in
+		// replica-equivalents, independent of the current count.
+		var u, busiest float64
+		measured := false
+		for _, rn := range s.Replicas {
+			o, ok := ops[rn]
+			if !ok || o.In < minIn || o.CostNS <= 0 || o.InterarrivalNS <= 0 {
+				continue
+			}
+			ru := o.CostNS / o.InterarrivalNS
+			u += ru
+			if ru > busiest {
+				busiest = ru
+			}
+			measured = true
+		}
+		if !measured || s.N < 1 {
+			// Fresh replicas after a reshard have no reliable estimate
+			// yet; hold position rather than act on noise.
+			tr.up, tr.down = 0, 0
+			continue
+		}
+		// Pressure is per-replica load, but never below the busiest single
+		// replica: under skew the mean flatters the region, and scaling
+		// down because the *average* is idle would melt the hot replica.
+		pressure := u / float64(s.N)
+		if busiest > pressure {
+			pressure = busiest
+		}
+		target := int(math.Ceil(u / headroom))
+		if target < 1 {
+			target = 1
+		}
+		if target > maxN {
+			target = maxN
+		}
+
+		switch {
+		case pressure > upAt && target > s.N:
+			tr.down = 0
+			if tr.up < persist {
+				tr.up++
+			}
+			if tr.up < persist {
+				continue
+			}
+			// Streaks saturate at persist: a proposal vetoed or dropped
+			// this step is re-proposed next step, not after another full
+			// persist window — the condition already persisted.
+			if s.N >= 2 && s.Skew >= maxSkew*float64(s.N) {
+				a.skewVetoes.Add(1)
+				continue
+			}
+			if s.PauseEstNS > budget {
+				a.pauseVetoes.Add(1)
+				continue
+			}
+			prs = append(prs, Proposal{Act: Reshard, Region: s.Name, Shards: target})
+		case pressure < downAt && target < s.N:
+			tr.up = 0
+			if tr.down < persist {
+				tr.down++
+			}
+			if tr.down < persist {
+				continue
+			}
+			if s.PauseEstNS > budget {
+				a.pauseVetoes.Add(1)
+				continue
+			}
+			prs = append(prs, Proposal{Act: Reshard, Region: s.Name, Shards: target})
+		default:
+			tr.up, tr.down = 0, 0
+		}
+	}
+	// Forget regions no longer deployed so the map cannot leak across
+	// reconfigurations.
+	for name := range a.regions {
+		if _, ok := live[name]; !ok {
+			delete(a.regions, name)
+		}
+	}
+	return prs
+}
+
+// Commit implements Committer: a successful reshard resets the region's
+// streaks so the next decision starts from fresh post-migration evidence.
+func (a *Autoscaler) Commit(pr Proposal, err error) {
+	if pr.Act != Reshard || err != nil {
+		return
+	}
+	if tr := a.regions[pr.Region]; tr != nil {
+		tr.up, tr.down = 0, 0
+	}
+	a.reshards.Add(1)
+}

@@ -2,6 +2,7 @@ package adapt
 
 import (
 	"math"
+	"sync/atomic"
 
 	hmts "github.com/dsms/hmts"
 )
@@ -33,8 +34,10 @@ func (p *QueueGrowth) Evaluate(m hmts.Metrics) Action {
 	if p.Persist <= 0 {
 		p.Persist = 3
 	}
+	live := make(map[string]struct{}, len(m.Queues))
 	trigger := false
 	for _, q := range m.Queues {
+		live[q.Name] = struct{}{}
 		last, seen := p.lastLens[q.Name]
 		p.lastLens[q.Name] = q.Len
 		if !seen {
@@ -48,6 +51,15 @@ func (p *QueueGrowth) Evaluate(m hmts.Metrics) Action {
 			}
 		} else {
 			p.growing[q.Name] = 0
+		}
+	}
+	// Forget queues the deployment no longer has: Reconfigure and Reshard
+	// rebuild queue sets wholesale, and a later queue reusing a dead name
+	// must start from a clean slate, not inherit a stale growth streak.
+	for name := range p.lastLens {
+		if _, ok := live[name]; !ok {
+			delete(p.lastLens, name)
+			delete(p.growing, name)
 		}
 	}
 	if trigger {
@@ -79,6 +91,18 @@ func (p *CostDrift) Evaluate(m hmts.Metrics) Action {
 	}
 	if p.planned == nil {
 		p.planned = make(map[string]float64)
+	}
+	live := make(map[string]struct{}, len(m.Ops))
+	for _, o := range m.Ops {
+		live[o.Name] = struct{}{}
+	}
+	// Drop baselines for operators no longer deployed (shard replicas
+	// removed by a downscale, rewritten subgraphs): a future operator that
+	// reuses the name would otherwise be judged against a dead plan.
+	for name := range p.planned {
+		if _, ok := live[name]; !ok {
+			delete(p.planned, name)
+		}
 	}
 	drifted := false
 	for _, o := range m.Ops {
@@ -168,16 +192,23 @@ type ShedOnOverload struct {
 	MinSamples uint64
 
 	over, under int
-	engaged     bool
+	engaged     atomic.Bool
 }
 
 // Name implements Policy.
 func (*ShedOnOverload) Name() string { return "shed-on-overload" }
 
-// Engaged reports whether the policy currently holds the shed override.
-func (p *ShedOnOverload) Engaged() bool { return p.engaged }
+// Engaged reports whether the shed override is actually in force — it
+// flips in Commit, after Engine.Shed ran, so it never claims an engagement
+// the controller's cooldown gate dropped. Safe to read concurrently with a
+// stepping controller.
+func (p *ShedOnOverload) Engaged() bool { return p.engaged.Load() }
 
-// Evaluate implements Policy.
+// Evaluate implements Policy. It only proposes; the engaged flag commits
+// in Commit once the action has executed. The persist counters saturate
+// rather than reset on proposal, so a proposal dropped by the controller's
+// cooldown is simply re-proposed next step instead of waiting out another
+// full persist window while the overload stands.
 func (p *ShedOnOverload) Evaluate(m hmts.Metrics) Action {
 	engage := p.Engage
 	if engage <= 0 {
@@ -196,12 +227,12 @@ func (p *ShedOnOverload) Evaluate(m hmts.Metrics) Action {
 		minIn = 100
 	}
 	u := Utilization(m, minIn)
-	if !p.engaged {
+	if !p.engaged.Load() {
 		if u > engage {
-			p.over++
+			if p.over < persist {
+				p.over++
+			}
 			if p.over >= persist {
-				p.over = 0
-				p.engaged = true
 				return ShedOn
 			}
 		} else {
@@ -210,16 +241,34 @@ func (p *ShedOnOverload) Evaluate(m hmts.Metrics) Action {
 		return None
 	}
 	if u < release {
-		p.under++
+		if p.under < persist {
+			p.under++
+		}
 		if p.under >= persist {
-			p.under = 0
-			p.engaged = false
 			return ShedOff
 		}
 	} else {
 		p.under = 0
 	}
 	return None
+}
+
+// Commit implements Committer: the engaged flag tracks executed actions
+// only. The pre-fix policy flipped it inside Evaluate, so a cooldown-
+// dropped ShedOn left it believing the sources were shedding while
+// Engine.Shed(true) never ran (and the mirror-image desync on release).
+func (p *ShedOnOverload) Commit(pr Proposal, err error) {
+	if err != nil {
+		return
+	}
+	switch pr.Act {
+	case ShedOn:
+		p.engaged.Store(true)
+		p.over = 0
+	case ShedOff:
+		p.engaged.Store(false)
+		p.under = 0
+	}
 }
 
 // ArchitectureFit recommends moving to HMTS when the running architecture

@@ -18,6 +18,16 @@ func metricsAtRate(costNS, hz float64) hmts.Metrics {
 	}
 }
 
+// evalCommit evaluates p and, like an uncooled controller step, commits
+// any proposed action as successfully executed.
+func evalCommit(p *ShedOnOverload, m hmts.Metrics) Action {
+	a := p.Evaluate(m)
+	if a != None {
+		p.Commit(Proposal{Act: a}, nil)
+	}
+	return a
+}
+
 // TestShedOnOverloadRampTrace drives the shed policy with the utilization
 // trajectory of a ramp-and-decay workload — the scenario the hysteresis
 // exists for. A 100µs operator saturates at 10k elements/s; the trace
@@ -44,7 +54,7 @@ func TestShedOnOverloadRampTrace(t *testing.T) {
 	var actions []step
 	for tick := 0; tick < 40; tick++ {
 		hz := shape.HzAt(int64(tick) * int64(time.Second))
-		if a := p.Evaluate(metricsAtRate(costNS, hz)); a != None {
+		if a := evalCommit(p, metricsAtRate(costNS, hz)); a != None {
 			actions = append(actions, step{tick, a, costNS * hz / 1e9})
 		}
 	}
@@ -85,7 +95,7 @@ func TestShedOnOverloadHoverNoFlap(t *testing.T) {
 	const costNS = 100_000
 	p := &ShedOnOverload{Engage: 1, Release: 0.8, Persist: 2, MinSamples: 100}
 	for i := 0; i < 2; i++ {
-		p.Evaluate(metricsAtRate(costNS, 15_000))
+		evalCommit(p, metricsAtRate(costNS, 15_000))
 	}
 	if !p.Engaged() {
 		t.Fatal("setup: overload did not engage")
@@ -97,7 +107,7 @@ func TestShedOnOverloadHoverNoFlap(t *testing.T) {
 		if i%2 == 1 {
 			hz = 9_500.0
 		}
-		if a := p.Evaluate(metricsAtRate(costNS, hz)); a != None {
+		if a := evalCommit(p, metricsAtRate(costNS, hz)); a != None {
 			t.Fatalf("tick %d: action %v inside the hysteresis band", i, a)
 		}
 	}
@@ -105,8 +115,8 @@ func TestShedOnOverloadHoverNoFlap(t *testing.T) {
 		t.Fatal("hovering load released the override")
 	}
 	// A brief dip below Release shorter than Persist must not release.
-	p.Evaluate(metricsAtRate(costNS, 5_000))
-	if a := p.Evaluate(metricsAtRate(costNS, 9_000)); a != None || !p.Engaged() {
+	evalCommit(p, metricsAtRate(costNS, 5_000))
+	if a := evalCommit(p, metricsAtRate(costNS, 9_000)); a != None || !p.Engaged() {
 		t.Fatal("one-tick dip released the override")
 	}
 }

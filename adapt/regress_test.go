@@ -1,0 +1,277 @@
+package adapt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/internal/simtime"
+)
+
+// overloadedExtEngine returns a finished engine whose measured statistics
+// show ~2x overload (slow map fed at twice its capacity in event time),
+// plus the external source handle for observing the shed override.
+func overloadedExtEngine(t *testing.T) (*hmts.Engine, *hmts.ExternalSource) {
+	t.Helper()
+	const (
+		n      = 2000
+		costNS = 20_000
+		gapNS  = 10_000
+	)
+	ext := hmts.External("ext", hmts.ExternalConfig{Policy: hmts.Block, Buffer: 256})
+	eng := hmts.New()
+	sink := eng.Source("ext", ext.Spec()).
+		Map("slow", func(e hmts.Element) hmts.Element {
+			simtime.Busy(costNS)
+			return e
+		}).
+		CountSink("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeGTS})
+	for i := 0; i < n; i++ {
+		ext.Push(hmts.Element{TS: hmts.Time((i + 1) * gapNS), Key: int64(i)})
+	}
+	ext.Close()
+	eng.Wait()
+	sink.Wait()
+	return eng, ext
+}
+
+// TestShedEngagedMatchesEngineAcrossCooldownDrop is the regression test
+// for the state-desync bug: the pre-fix ShedOnOverload flipped engaged
+// inside Evaluate, so when the controller dropped the returned ShedOn at
+// its cooldown gate the policy believed the sources were shedding while
+// Engine.Shed(true) never ran — and, believing itself engaged, it would
+// never propose ShedOn again. Engaged() must track executed actions only.
+func TestShedEngagedMatchesEngineAcrossCooldownDrop(t *testing.T) {
+	eng, ext := overloadedExtEngine(t)
+	const cooldown = 300 * time.Millisecond
+
+	shed := &ShedOnOverload{Persist: 2, MinSamples: 100}
+	// A policy ahead of the shedder that acts on the first step, charging
+	// the cooldown right before the shedder's persist window fills.
+	chatty := &fakePolicy{name: "chatty", acts: []Action{ShedOff}}
+	c := New(eng, time.Hour, cooldown, chatty, shed)
+
+	// Step 1: chatty's ShedOff executes and charges the cooldown; the
+	// shedder sees overload once (persist 2 → no proposal yet).
+	if got := c.Step(); got != ShedOff {
+		t.Fatalf("step 1 = %v, want chatty's ShedOff", got)
+	}
+	// Step 2: the shedder's persist fills and it proposes ShedOn, which
+	// the cooldown gate drops.
+	if got := c.Step(); got != None {
+		t.Fatalf("step 2 = %v, want None (cooldown)", got)
+	}
+	if shed.Engaged() != ext.Shedding() {
+		t.Fatalf("policy state desynced from engine: Engaged=%v Shedding=%v",
+			shed.Engaged(), ext.Shedding())
+	}
+	if shed.Engaged() {
+		t.Fatal("dropped ShedOn must not mark the policy engaged")
+	}
+	// The drop is observable: the last event records the suppressed
+	// proposal (the pre-fix controller returned silently).
+	evs := c.Events()
+	if len(evs) == 0 || !evs[len(evs)-1].Dropped || evs[len(evs)-1].Action != ShedOn {
+		t.Fatalf("cooldown drop not recorded: %+v", evs)
+	}
+
+	// Step 3, past the cooldown: the still-standing overload re-proposes
+	// ShedOn (the persist streak saturates instead of resetting), it
+	// executes, and policy and engine agree again.
+	time.Sleep(cooldown + 50*time.Millisecond)
+	if got := c.Step(); got != ShedOn {
+		t.Fatalf("step 3 = %v, want ShedOn once the cooldown expired", got)
+	}
+	if !shed.Engaged() || !ext.Shedding() {
+		t.Fatalf("after execution both must report shedding: Engaged=%v Shedding=%v",
+			shed.Engaged(), ext.Shedding())
+	}
+}
+
+// countingPolicy records how often it was evaluated and always proposes.
+type countingPolicy struct {
+	act   Action
+	evals int
+}
+
+func (p *countingPolicy) Name() string { return "counting" }
+func (p *countingPolicy) Evaluate(hmts.Metrics) Action {
+	p.evals++
+	return p.act
+}
+
+// TestCooldownDoesNotSilenceLaterPolicies is the regression test for the
+// starvation bug: the pre-fix Step returned None as soon as any policy's
+// proposal hit the cooldown gate (and returned right after the first
+// executed action), so a chatty early policy starved every later one
+// indefinitely. All policies must be evaluated every step, and dropped
+// proposals must surface as events.
+func TestCooldownDoesNotSilenceLaterPolicies(t *testing.T) {
+	eng, sink := runningEngine(t, 200_000)
+	chatty := &countingPolicy{act: Rebalance}
+	late := &countingPolicy{act: ShedOff}
+	c := New(eng, time.Hour, time.Hour, chatty, late)
+
+	// Step 1 (uncooled): both policies run and both actions execute.
+	if got := c.Step(); got != Rebalance {
+		t.Fatalf("step 1 = %v", got)
+	}
+	// Step 2 (cooling): both proposals drop, but both policies must still
+	// have been consulted.
+	if got := c.Step(); got != None {
+		t.Fatalf("step 2 = %v, want None under cooldown", got)
+	}
+	if late.evals != 2 {
+		t.Fatalf("late policy evaluated %d times, want 2 — cooldown starved it", late.evals)
+	}
+	var dropped []Action
+	for _, ev := range c.Events() {
+		if ev.Dropped {
+			dropped = append(dropped, ev.Action)
+		}
+	}
+	if len(dropped) != 2 || dropped[0] != Rebalance || dropped[1] != ShedOff {
+		t.Fatalf("dropped proposals not recorded: %v (events %+v)", dropped, c.Events())
+	}
+	eng.Wait()
+	sink.Wait()
+}
+
+// TestQueueGrowthForgetsRemovedQueues is the regression test for the
+// state-leak bug: a queue removed from the deployment and later re-created
+// under the same name must start with a clean growth streak, not inherit
+// the dead queue's.
+func TestQueueGrowthForgetsRemovedQueues(t *testing.T) {
+	p := &QueueGrowth{Threshold: 100, Persist: 3}
+	mk := func(l int) hmts.Metrics {
+		return hmts.Metrics{Queues: []hmts.QueueMetrics{{Name: "q", Len: l}}}
+	}
+	p.Evaluate(mk(200)) // baseline
+	p.Evaluate(mk(300)) // streak 1
+	p.Evaluate(mk(400)) // streak 2
+	// The queue disappears for one snapshot (resharded away)...
+	p.Evaluate(hmts.Metrics{})
+	// ...and a new queue reuses the name. This observation can only be a
+	// baseline; on the pre-fix code the stale streak plus the stale
+	// lastLens entry made it the triggering third growth.
+	if a := p.Evaluate(mk(500)); a != None {
+		t.Fatalf("recreated queue inherited the dead queue's streak: %v", a)
+	}
+	// From the clean slate the full persist window is required again.
+	if a := p.Evaluate(mk(600)); a != None {
+		t.Fatal("streak 1 must not trigger")
+	}
+	if a := p.Evaluate(mk(700)); a != None {
+		t.Fatal("streak 2 must not trigger")
+	}
+	if a := p.Evaluate(mk(800)); a != Rebalance {
+		t.Fatal("persistent growth on the new queue must trigger")
+	}
+}
+
+// TestCostDriftForgetsRemovedOps: same leak for the drift baselines — an
+// operator removed by a reshard and re-created under the same name (shard
+// replicas do exactly this) must re-baseline, not be judged against the
+// dead operator's plan.
+func TestCostDriftForgetsRemovedOps(t *testing.T) {
+	p := &CostDrift{Factor: 2}
+	mk := func(cost float64) hmts.Metrics {
+		return hmts.Metrics{Ops: []hmts.OpMetrics{{Name: "agg#1", CostNS: cost, In: 1000}}}
+	}
+	if a := p.Evaluate(mk(100)); a != None { // baseline 100
+		t.Fatalf("baseline: %v", a)
+	}
+	// Replica removed by a downscale...
+	p.Evaluate(hmts.Metrics{})
+	// ...then a new replica reuses the name with a 10x different cost.
+	// Pre-fix this compared 1000 against the dead baseline and fired.
+	if a := p.Evaluate(mk(1000)); a != None {
+		t.Fatalf("recreated op judged against dead baseline: %v", a)
+	}
+	// The fresh baseline is live: drifting from it still triggers.
+	if a := p.Evaluate(mk(5000)); a != Rebalance {
+		t.Fatalf("drift against the new baseline must trigger: %v", a)
+	}
+}
+
+// TestQueueGrowthPrunesAcrossLiveReshard drives the pruning through the
+// real thing: a live Engine.Reshard removes a replica and its queues, and
+// the policy's memory must shrink with the deployment.
+func TestQueueGrowthPrunesAcrossLiveReshard(t *testing.T) {
+	ext := hmts.External("ext", hmts.ExternalConfig{Policy: hmts.Block, Buffer: 256})
+	eng := hmts.New()
+	sink := eng.Source("ext", ext.Spec()).
+		Aggregate("agg", hmts.Count, time.Hour, func(e hmts.Element) int64 { return e.Key }).
+		Shard(2).
+		CountSink("out")
+	eng.MustRun(hmts.RunConfig{Mode: hmts.ModeHMTS})
+	for i := 0; i < 100; i++ {
+		ext.Push(hmts.Element{TS: hmts.Time((i + 1) * 1e6), Key: int64(i % 8)})
+	}
+
+	p := &QueueGrowth{Threshold: 1 << 30} // watch its memory, never trigger
+	p.Evaluate(eng.Metrics())
+	had := false
+	for name := range p.lastLens {
+		if strings.Contains(name, "agg#1") {
+			had = true
+		}
+	}
+	if !had {
+		t.Fatalf("setup: replica-1 queues missing from the snapshot: %v", p.lastLens)
+	}
+
+	if err := eng.Reshard("agg", 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Evaluate(eng.Metrics())
+	for name := range p.lastLens {
+		if strings.Contains(name, "agg#1") {
+			t.Fatalf("stale queue state survived the live reshard: %q", name)
+		}
+	}
+
+	ext.Close()
+	eng.Wait()
+	sink.Wait()
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngagedAndEventsConcurrentWithLoop exercises the reader-facing
+// surfaces (-race catches unsynchronized state): Engaged() and Events()
+// are read from other goroutines while the control loop steps.
+func TestEngagedAndEventsConcurrentWithLoop(t *testing.T) {
+	eng, sink := runningEngine(t, 300_000)
+	shed := &ShedOnOverload{Persist: 1, MinSamples: 1}
+	c := New(eng, time.Millisecond, 0, shed, &QueueGrowth{Threshold: 1})
+	c.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = shed.Engaged()
+					_ = c.Events()
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	c.Stop()
+	eng.Wait()
+	sink.Wait()
+}

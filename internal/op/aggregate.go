@@ -2,6 +2,7 @@ package op
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/dsms/hmts/internal/stream"
 )
@@ -69,6 +70,12 @@ type WindowAgg struct {
 	// arrival costs O(1) when nothing is due and O(log G) amortized per
 	// expired element — not a scan of every group per element.
 	expq []*aggState
+	// held counts elements across group windows incrementally (add/remove
+	// are the only mutation points); heldPub publishes it at processing
+	// boundaries so RetainedRows can be read while an executor runs —
+	// WindowLen walks the groups map and would race.
+	held    int
+	heldPub atomic.Int64
 }
 
 // NewWindowAgg returns a windowed aggregate of the given kind over a time
@@ -179,6 +186,7 @@ func (a *WindowAgg) heapRemove(g *aggState) {
 func (a *WindowAgg) add(g *aggState, e stream.Element) {
 	wasEmpty := g.win.empty()
 	g.win.push(e)
+	a.held++
 	g.count++
 	g.sum += e.Val
 	switch a.kind {
@@ -200,6 +208,7 @@ func (a *WindowAgg) add(g *aggState, e stream.Element) {
 
 func (a *WindowAgg) remove(g *aggState) {
 	e := g.win.pop()
+	a.held--
 	g.count--
 	g.sum -= e.Val
 	if (a.kind == AggMin || a.kind == AggMax) && !g.deque.empty() && g.deque.front() == e.Val {
@@ -289,14 +298,23 @@ func (a *WindowAgg) ExportShardState() []PortedElement {
 	return pes
 }
 
+// RetainedRows reports the elements currently held across group windows —
+// the state a reshard would have to port. Unlike WindowLen it is safe to
+// call while an executor is processing.
+func (a *WindowAgg) RetainedRows() int { return int(a.heldPub.Load()) }
+
 // ImportShardElement implements ShardState: replay one retained element,
 // rebuilding window state without emitting.
-func (a *WindowAgg) ImportShardElement(_ int, e stream.Element) { a.step(e) }
+func (a *WindowAgg) ImportShardElement(_ int, e stream.Element) {
+	a.step(e)
+	a.heldPub.Store(int64(a.held))
+}
 
 // Process implements Sink.
 func (a *WindowAgg) Process(_ int, e stream.Element) {
 	t := a.BeginWork(e)
 	a.Emit(a.step(e))
+	a.heldPub.Store(int64(a.held))
 	a.EndWork(t)
 }
 
@@ -314,6 +332,7 @@ func (a *WindowAgg) ProcessBatch(_ int, es []stream.Element) {
 	for _, e := range es {
 		out = append(out, a.step(e))
 	}
+	a.heldPub.Store(int64(a.held))
 	a.flush(out)
 	a.EndWorkBatch(t, len(es))
 }

@@ -1,15 +1,20 @@
 package op
 
-import "github.com/dsms/hmts/internal/stream"
+import (
+	"sync/atomic"
+
+	"github.com/dsms/hmts/internal/stream"
+)
 
 // Distinct suppresses duplicate keys within a sliding time window: an
 // element is forwarded only if no element with the same Key was forwarded
 // in the preceding window nanoseconds. Event time must be nondecreasing.
 type Distinct struct {
 	Base
-	window int64
-	seen   map[int64]int64 // key -> last forwarded TS
-	order  fifo
+	window  int64
+	seen    map[int64]int64 // key -> last forwarded TS
+	order   fifo
+	heldPub atomic.Int64 // published order.len() for race-free RetainedRows
 }
 
 // NewDistinct returns a window-bounded duplicate eliminator.
@@ -52,9 +57,16 @@ func (d *Distinct) ExportShardState() []PortedElement {
 	return pes
 }
 
+// RetainedRows reports the suppression markers currently retained — the
+// state a reshard must port. Safe to read while an executor is processing.
+func (d *Distinct) RetainedRows() int { return int(d.heldPub.Load()) }
+
 // ImportShardElement implements ShardState: replaying a marker rebuilds the
 // seen map and window without forwarding anything.
-func (d *Distinct) ImportShardElement(_ int, e stream.Element) { d.step(e) }
+func (d *Distinct) ImportShardElement(_ int, e stream.Element) {
+	d.step(e)
+	d.heldPub.Store(int64(d.order.len()))
+}
 
 // Process implements Sink.
 func (d *Distinct) Process(_ int, e stream.Element) {
@@ -62,6 +74,7 @@ func (d *Distinct) Process(_ int, e stream.Element) {
 	if d.step(e) {
 		d.Emit(e)
 	}
+	d.heldPub.Store(int64(d.order.len()))
 	d.EndWork(t)
 }
 
@@ -79,6 +92,7 @@ func (d *Distinct) ProcessBatch(_ int, es []stream.Element) {
 			out = append(out, e)
 		}
 	}
+	d.heldPub.Store(int64(d.order.len()))
 	d.flush(out)
 	d.EndWorkBatch(t, len(es))
 }

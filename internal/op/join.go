@@ -1,6 +1,8 @@
 package op
 
 import (
+	"sync/atomic"
+
 	"github.com/dsms/hmts/internal/stream"
 )
 
@@ -39,9 +41,10 @@ func defaultMerge(l, r stream.Element) stream.Element {
 // whose timestamp is at or before (arrival − window).
 type SHJ struct {
 	Base
-	window int64
-	merge  MergeFunc
-	sides  [2]hashSide
+	window  int64
+	merge   MergeFunc
+	sides   [2]hashSide
+	heldPub atomic.Int64 // published WindowLen for race-free RetainedRows
 }
 
 type hashSide struct {
@@ -133,6 +136,10 @@ func (j *SHJ) ExportShardState() []PortedElement {
 	return pes
 }
 
+// RetainedRows reports the elements held across both window sides — the
+// state a reshard must port. Safe to read while an executor is processing.
+func (j *SHJ) RetainedRows() int { return int(j.heldPub.Load()) }
+
 // ImportShardElement implements ShardState: re-insert a retained element
 // into its side without probing, mirroring the scalar path's expiry.
 func (j *SHJ) ImportShardElement(port int, e stream.Element) {
@@ -140,6 +147,7 @@ func (j *SHJ) ImportShardElement(port int, e stream.Element) {
 	j.sides[0].expire(deadline)
 	j.sides[1].expire(deadline)
 	j.sides[port].insert(e)
+	j.heldPub.Store(int64(j.WindowLen()))
 }
 
 // Process implements Sink.
@@ -153,6 +161,7 @@ func (j *SHJ) Process(port int, e stream.Element) {
 		j.Emit(r)
 	}
 	j.obuf = out[:0]
+	j.heldPub.Store(int64(j.WindowLen()))
 	j.EndWork(t)
 }
 
@@ -175,6 +184,7 @@ func (j *SHJ) ProcessBatch(port int, es []stream.Element) {
 	for _, e := range es {
 		out = j.probe(port, e, out)
 	}
+	j.heldPub.Store(int64(j.WindowLen()))
 	j.flush(out)
 	j.EndWorkBatch(t, len(es))
 }

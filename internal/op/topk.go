@@ -2,6 +2,7 @@ package op
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"github.com/dsms/hmts/internal/stream"
 )
@@ -15,11 +16,12 @@ import (
 // Event time must be nondecreasing.
 type TopK struct {
 	Base
-	k      int
-	window int64
-	counts map[int64]int64
-	order  fifo
-	inTop  map[int64]bool
+	k       int
+	window  int64
+	counts  map[int64]int64
+	order   fifo
+	inTop   map[int64]bool
+	heldPub atomic.Int64 // published order.len() for race-free RetainedRows
 }
 
 // NewTopK returns a top-k tracker over a time window in nanoseconds.
@@ -93,11 +95,16 @@ func (t *TopK) ExportShardState() []PortedElement {
 	return pes
 }
 
+// RetainedRows reports the count markers currently in the window — the
+// state a reshard must port. Safe to read while an executor is processing.
+func (t *TopK) RetainedRows() int { return int(t.heldPub.Load()) }
+
 // ImportShardElement implements ShardState: replay one marker, rebuilding
 // counts and the in-top set without emitting.
 func (t *TopK) ImportShardElement(_ int, e stream.Element) {
 	out := t.step(e, t.scratch(1))
 	t.obuf = out[:0]
+	t.heldPub.Store(int64(t.order.len()))
 }
 
 // Process implements Sink.
@@ -108,6 +115,7 @@ func (t *TopK) Process(_ int, e stream.Element) {
 		t.Emit(r)
 	}
 	t.obuf = out[:0]
+	t.heldPub.Store(int64(t.order.len()))
 	t.EndWork(w)
 }
 
@@ -122,6 +130,7 @@ func (t *TopK) ProcessBatch(_ int, es []stream.Element) {
 	for _, e := range es {
 		out = t.step(e, out)
 	}
+	t.heldPub.Store(int64(t.order.len()))
 	t.flush(out)
 	t.EndWorkBatch(w, len(es))
 }

@@ -64,6 +64,14 @@ type Deployment struct {
 	// rewired its targets while it waited (see srcAdapter.lockTarget).
 	wireGen uint64
 
+	// reshardOverheadNS / reshardPerRowNS model the stop-the-region pause
+	// a live Reshard costs: a fixed splice overhead plus a per-retained-row
+	// state-handoff cost. Seeded with defaults and EWMA-updated from each
+	// measured Reshard (see pausemodel.go); read lock-free by
+	// ReshardPauseEstimateNS so a planner can veto an expensive migration.
+	reshardOverheadNS atomic.Int64
+	reshardPerRowNS   atomic.Int64
+
 	started bool
 	stopped atomic.Bool
 	srcWG   sync.WaitGroup

@@ -1,0 +1,66 @@
+package sched
+
+import "testing"
+
+// TestReshardPauseModelSeeds: before any measured reshard the estimate is
+// the seed line — overhead plus per-row cost times retained rows.
+func TestReshardPauseModelSeeds(t *testing.T) {
+	var d Deployment
+	if got := d.ReshardPauseEstimateNS(0); got != seedReshardOverheadNS {
+		t.Fatalf("empty-region estimate %d, want seed overhead %d", got, seedReshardOverheadNS)
+	}
+	want := int64(seedReshardOverheadNS + 50_000*seedReshardPerRowNS)
+	if got := d.ReshardPauseEstimateNS(50_000); got != want {
+		t.Fatalf("50k-row estimate %d, want %d", got, want)
+	}
+	if got := d.ReshardPauseEstimateNS(-5); got != seedReshardOverheadNS {
+		t.Fatalf("negative rows must clamp to the overhead: %d", got)
+	}
+}
+
+// TestReshardPauseModelLearnsOverhead: small-row reshards (no per-row
+// signal) converge the fixed-overhead term toward the measured pause.
+func TestReshardPauseModelLearnsOverhead(t *testing.T) {
+	var d Deployment
+	const measured = 10_000_000 // 10ms splices on this hardware
+	for i := 0; i < 50; i++ {
+		d.observeReshard(measured, 0)
+	}
+	got := d.ReshardPauseEstimateNS(0)
+	if got < measured*9/10 || got > measured {
+		t.Fatalf("overhead did not converge toward %d: %d", measured, got)
+	}
+}
+
+// TestReshardPauseModelLearnsPerRow: large-row reshards converge the
+// per-row slope, with the overhead term subtracted out first.
+func TestReshardPauseModelLearnsPerRow(t *testing.T) {
+	var d Deployment
+	const rows, perRow = 100_000, 1_000 // 1µs/row, far off the 200ns seed
+	for i := 0; i < 50; i++ {
+		d.observeReshard(seedReshardOverheadNS+rows*perRow, rows)
+	}
+	got := d.ReshardPauseEstimateNS(rows)
+	want := int64(seedReshardOverheadNS + rows*perRow)
+	if got < want*9/10 || got > want*11/10 {
+		t.Fatalf("per-row cost did not converge: estimate %d, want ~%d", got, want)
+	}
+}
+
+// TestReshardPauseModelIgnoresGarbage: non-positive pauses (clock hiccups)
+// leave the model untouched, and a measured pause under the overhead
+// estimate cannot drive the per-row term below 1ns.
+func TestReshardPauseModelIgnoresGarbage(t *testing.T) {
+	var d Deployment
+	d.observeReshard(0, 1000)
+	d.observeReshard(-50, 1000)
+	if got := d.ReshardPauseEstimateNS(0); got != seedReshardOverheadNS {
+		t.Fatalf("garbage observation moved the model: %d", got)
+	}
+	for i := 0; i < 50; i++ {
+		d.observeReshard(1, reshardModelMinRows) // pause below the overhead seed
+	}
+	if per := loadOrSeed(&d.reshardPerRowNS, seedReshardPerRowNS); per < 1 {
+		t.Fatalf("per-row term fell below the 1ns floor: %d", per)
+	}
+}

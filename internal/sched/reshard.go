@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/dsms/hmts/internal/graph"
 	"github.com/dsms/hmts/internal/op"
@@ -52,6 +53,7 @@ func (d *Deployment) Reshard(gr *graph.ShardGroup, n int) error {
 	}
 	split := gr.Split.Op.(*op.Split)
 	merge := gr.Merge.Op.(*op.Merge)
+	t0 := time.Now()
 	for _, x := range d.execs {
 		x.halt()
 	}
@@ -142,5 +144,8 @@ func (d *Deployment) Reshard(gr *graph.ShardGroup, n int) error {
 	d.rewireTargets()
 	d.refreshUnits()
 	d.buildExecs()
+	// Feed the measured pause into the migration-cost model so the next
+	// estimate reflects this deployment's real handoff costs.
+	d.observeReshard(time.Since(t0).Nanoseconds(), len(state))
 	return nil
 }

@@ -186,6 +186,59 @@ func Scenarios() map[string]Scenario {
 		},
 	})
 
+	// autoscale: the closed control loop — a 10x ramp-hold-decay against a
+	// sharded aggregation whose group function costs real CPU, with NO
+	// scripted reshards: the adapt.Autoscaler must grow the replica count
+	// from measured c(v)/d(v) on the ramp and shrink it back on the decay,
+	// within a reshard budget that forbids flapping. The thresholds are
+	// tuned to the shape: per-replica pressure at the peak (~0.2 with one
+	// replica) sits far above ScaleUpAt, the floor (~0.02) far below
+	// ScaleDownAt, and the solved targets land at 3 on the ramp and 1 on
+	// the decay.
+	add(Scenario{
+		Name:        "autoscale",
+		Description: "model-driven replica autoscaling over a 10x ramp-hold-decay, no scripted reshards, ~18s",
+		Duration:    18 * time.Second,
+		Shape: workload.RampDecayShape{
+			FloorHz: 1_000,
+			PeakHz:  10_000,
+			RampNS:  (5 * time.Second).Nanoseconds(),
+			HoldNS:  (3 * time.Second).Nanoseconds(),
+			DecayNS: (5 * time.Second).Nanoseconds(),
+		},
+		Keys:       8192,
+		ZipfS:      1.1,
+		Seed:       31,
+		Mode:       hmts.ModeHMTS,
+		QueueBound: 4096,
+		Policy:     hmts.Block,
+		Buffer:     8192,
+		OpCostNS:   2_000,
+		Window:     500 * time.Millisecond,
+		Shards:     1,
+		AggCostNS:  20_000, // 20µs/element: 2% of a core at the floor, 20% at the peak
+		Autoscale: &AutoscaleSpec{
+			Period:        400 * time.Millisecond,
+			Cooldown:      time.Second,
+			Headroom:      0.07,
+			ScaleUpAt:     0.09,
+			ScaleDownAt:   0.035,
+			MaxReplicas:   4,
+			Persist:       3,
+			MinSamples:    200,
+			PauseBudget:   250 * time.Millisecond,
+			MaxReshards:   6,
+			RequireGrow:   true,
+			RequireShrink: true,
+		},
+		SLOs: []slo.Assertion{
+			slo.LatencyBelow{Q: slo.P99, Bound: 3 * time.Second, Frac: 0.7},
+			slo.BoundedBacklog{MaxIngress: 8192, MaxQueue: 3 * 4096},
+			slo.MinThroughput{PerSec: 300, Frac: 0.7},
+			slo.MaxDropFrac{Frac: 0}, // Block policy: nothing may be shed
+		},
+	})
+
 	// switchstorm: live reconfiguration under fire — mode and placement
 	// switches every few seconds while bursts land. The engine must never
 	// wedge and the measured path must keep flowing between switches.

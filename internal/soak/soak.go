@@ -23,8 +23,11 @@ import (
 	"time"
 
 	hmts "github.com/dsms/hmts"
+	"github.com/dsms/hmts/adapt"
+	"github.com/dsms/hmts/internal/graph"
 	"github.com/dsms/hmts/internal/ingest"
 	"github.com/dsms/hmts/internal/op"
+	"github.com/dsms/hmts/internal/simtime"
 	"github.com/dsms/hmts/internal/slo"
 	"github.com/dsms/hmts/internal/stream"
 	"github.com/dsms/hmts/internal/workload"
@@ -114,12 +117,47 @@ type Scenario struct {
 	// Shards > 0 shards the stateful aggregation across that many
 	// key-partitioned replicas (and enables FaultReshard).
 	Shards int
+	// AggCostNS is the simulated per-element cost of the aggregation's
+	// group function (0 = free). It burns inside the replicas — not on
+	// the serial split path — so growing the replica count genuinely
+	// divides it.
+	AggCostNS int64
+	// Autoscale, when set, closes the control loop: an adapt.Controller
+	// running an adapt.Autoscaler grows and shrinks the aggregation's
+	// replica count from measured c(v)/d(v), with no faults scripting
+	// the reshards.
+	Autoscale *AutoscaleSpec
 	// Sample bounds the per-second latency reservoir (0 = default).
 	Sample int
 	// Faults is the injection timeline.
 	Faults []Fault
 	// SLOs are the assertions that decide pass/fail.
 	SLOs []slo.Assertion
+}
+
+// AutoscaleSpec parameterizes the scenario's autoscaling loop and the
+// acceptance bounds it is judged by.
+type AutoscaleSpec struct {
+	// Period is the controller's step interval; Cooldown the minimum gap
+	// between executed actions (0 = none).
+	Period   time.Duration
+	Cooldown time.Duration
+	// Headroom through PauseBudget map onto adapt.Autoscaler fields
+	// (zero values take the planner's defaults).
+	Headroom    float64
+	ScaleUpAt   float64
+	ScaleDownAt float64
+	MaxReplicas int
+	Persist     int
+	MinSamples  uint64
+	PauseBudget time.Duration
+	// MaxReshards bounds how many reshards may execute over the run
+	// (flap guard; 0 = unbounded). RequireGrow and RequireShrink assert
+	// the loop both grew and shrank the region — the ramp must scale it
+	// out and the decay must scale it back with zero scripted reshards.
+	MaxReshards   int
+	RequireGrow   bool
+	RequireShrink bool
 }
 
 // Result is a completed run.
@@ -131,6 +169,9 @@ type Result struct {
 	// Sent, Observed and Dropped tally the run end to end: pushed by the
 	// load generator, measured at the sink, dropped at the ingress edge.
 	Sent, Observed, Dropped uint64
+	// Reshards counts the autoscaler's executed replica-count changes
+	// (zero when the scenario has no Autoscale spec).
+	Reshards int
 	// Err is a run-level failure — an engine fault or a wedged teardown —
 	// which fails the scenario regardless of the SLOs.
 	Err error
@@ -219,11 +260,37 @@ func Run(sc Scenario, w io.Writer) *Result {
 	if window <= 0 {
 		window = time.Second
 	}
-	agg := src.Aggregate("agg", hmts.Count, window, func(e hmts.Element) int64 { return e.Key })
-	if sc.Shards > 0 {
-		agg = agg.Shard(sc.Shards)
+	// The stateful aggregation is built by hand rather than through the
+	// builder: the builder reuses the group function as the shard
+	// partition key, and this branch's group function may carry a
+	// simulated per-element cost (AggCostNS) that must burn inside the
+	// replicas — on the split's serial routing path it could never be
+	// divided by scaling out.
+	aggGroup := func(e stream.Element) int64 { return e.Key }
+	if sc.AggCostNS > 0 {
+		aggGroup = func(e stream.Element) int64 {
+			simtime.Busy(sc.AggCostNS)
+			return e.Key
+		}
 	}
-	aggDone := agg.Discard("agg-null")
+	newAgg := func(name string) *op.WindowAgg {
+		return op.NewWindowAgg(name, op.AggCount, window.Nanoseconds(), aggGroup)
+	}
+	na := g.AddOp("agg", newAgg("agg"), float64(max64(sc.AggCostNS, 1500)), 1)
+	na.Shardable = &graph.ShardSpec{
+		Ins: 1,
+		Key: func(_ int, e stream.Element) int64 { return e.Key },
+		New: func(i int) op.Operator { return newAgg(fmt.Sprintf("agg#%d", i)) },
+	}
+	g.Connect(src.Node(), na, 0)
+	aggDone := op.NewNull(1)
+	g.Connect(na, g.AddSink("agg-null", aggDone), 0)
+	if sc.Shards > 0 {
+		if _, err := g.ApplyShard(na, sc.Shards); err != nil {
+			res.Err = fmt.Errorf("soak: shard: %w", err)
+			return res
+		}
+	}
 
 	if err := eng.Run(hmts.RunConfig{
 		Mode:       sc.Mode,
@@ -232,6 +299,29 @@ func Run(sc Scenario, w io.Writer) *Result {
 	}); err != nil {
 		res.Err = fmt.Errorf("soak: engine start: %w", err)
 		return res
+	}
+
+	// The autoscaling loop, when the scenario asks for one: a real
+	// adapt.Controller stepping a real planner against live metrics. It
+	// stops before the drain so teardown is not resharded under.
+	var ctl *adapt.Controller
+	var scaler *adapt.Autoscaler
+	if as := sc.Autoscale; as != nil {
+		scaler = &adapt.Autoscaler{
+			Headroom:      as.Headroom,
+			ScaleUpAt:     as.ScaleUpAt,
+			ScaleDownAt:   as.ScaleDownAt,
+			MaxReplicas:   as.MaxReplicas,
+			Persist:       as.Persist,
+			MinSamples:    as.MinSamples,
+			PauseBudgetNS: as.PauseBudget.Nanoseconds(),
+		}
+		period := as.Period
+		if period <= 0 {
+			period = 500 * time.Millisecond
+		}
+		ctl = adapt.New(eng, period, as.Cooldown, scaler)
+		ctl.Start()
 	}
 
 	logf("scenario %s: %s", sc.Name, sc.Description)
@@ -248,6 +338,7 @@ func Run(sc Scenario, w io.Writer) *Result {
 
 	// Per-second collection: roll the monitor and attach engine gauges.
 	var lastDropped uint64
+	lastN := 0
 	roll := func() {
 		st := ext.Stats()
 		var ga slo.Gauges
@@ -260,6 +351,18 @@ func Run(sc Scenario, w io.Writer) *Result {
 				ga.QueueLen = q.Len
 			}
 			ga.Overshoot += q.Overshoot
+		}
+		// Annotate the series when the autoscaler changed the region size
+		// since the last roll.
+		if sc.Autoscale != nil {
+			for _, s := range m.Shards {
+				if s.Name == "agg" && s.N != lastN {
+					if lastN != 0 {
+						mon.Event(fmt.Sprintf("autoscale:%d", s.N))
+					}
+					lastN = s.N
+				}
+			}
 		}
 		sec := mon.Roll(ga)
 		logf("%s", sec.String())
@@ -289,6 +392,9 @@ collect:
 	}
 	<-loadDone
 	<-faultDone
+	if ctl != nil {
+		ctl.Stop()
+	}
 
 	// Drain: the closed ingress propagates Done through the graph. A
 	// wedged engine is itself an SLO catastrophe, so guard with a
@@ -315,6 +421,40 @@ collect:
 	res.Observed = sink.seen.Load()
 	res.Dropped = ext.Stats().Dropped
 	res.Violations = slo.CheckAll(res.Series, sc.SLOs)
+	if as := sc.Autoscale; as != nil {
+		cur := sc.Shards
+		if cur < 1 {
+			cur = 1
+		}
+		grew, shrank := 0, 0
+		for _, ev := range ctl.Events() {
+			if ev.Action != adapt.Reshard || ev.Dropped || ev.Err != nil {
+				continue
+			}
+			res.Reshards++
+			if ev.Shards > cur {
+				grew++
+			} else if ev.Shards < cur {
+				shrank++
+			}
+			cur = ev.Shards
+			logf("autoscale: resharded %s -> %d replicas", ev.Region, ev.Shards)
+		}
+		logf("autoscale: reshards=%d grew=%d shrank=%d skew-vetoes=%d pause-vetoes=%d",
+			res.Reshards, grew, shrank, scaler.SkewVetoes(), scaler.PauseVetoes())
+		if as.MaxReshards > 0 && res.Reshards > as.MaxReshards {
+			res.Violations = append(res.Violations, fmt.Errorf(
+				"autoscale: %d reshards exceed the budget of %d (flapping)", res.Reshards, as.MaxReshards))
+		}
+		if as.RequireGrow && grew == 0 {
+			res.Violations = append(res.Violations, fmt.Errorf(
+				"autoscale: the ramp never grew the region (%d replicas throughout)", cur))
+		}
+		if as.RequireShrink && shrank == 0 {
+			res.Violations = append(res.Violations, fmt.Errorf(
+				"autoscale: the decay never shrank the region (ended at %d replicas)", cur))
+		}
+	}
 	logf("sent=%d observed=%d dropped=%d seconds=%d", res.Sent, res.Observed, res.Dropped, len(res.Series))
 	for _, a := range sc.SLOs {
 		logf("slo PASS? %s", a)

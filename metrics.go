@@ -63,12 +63,20 @@ func ingestMetricsFrom(name string, st ingest.Stats) IngestMetrics {
 
 // ShardMetrics is a snapshot of one shard region's load distribution.
 type ShardMetrics struct {
-	Name string   // the region's name (the original operator's)
-	N    int      // current replica count
-	In   []uint64 // elements routed to each replica so far
+	Name     string   // the region's name (the original operator's)
+	N        int      // current replica count
+	In       []uint64 // elements routed to each replica so far
+	Replicas []string // replica operator names, for joining against Ops
 	// Skew is max(In)/mean(In): 1.0 is a perfectly even split, n means one
 	// replica absorbed everything. 0 before any input arrives.
 	Skew float64
+	// Retained is the total rows of operator state currently held across
+	// the region's replicas (window/join/dedup state a reshard must port).
+	Retained int
+	// PauseEstNS estimates the stop-the-region pause a reshard of this
+	// region would take right now, from Retained and the deployment's
+	// measured per-row handoff cost. 0 when the engine is not deployed.
+	PauseEstNS int64
 }
 
 // Metrics is an engine-wide snapshot.
@@ -117,13 +125,20 @@ func (e *Engine) Metrics() Metrics {
 		for _, rn := range gr.Replicas {
 			in := rn.Op.Stats().In()
 			sm.In = append(sm.In, in)
+			sm.Replicas = append(sm.Replicas, rn.Name)
 			total += in
 			if in > max {
 				max = in
 			}
+			if rr, ok := rn.Op.(interface{ RetainedRows() int }); ok {
+				sm.Retained += rr.RetainedRows()
+			}
 		}
 		if total > 0 {
 			sm.Skew = float64(max) * float64(sm.N) / float64(total)
+		}
+		if e.d != nil {
+			sm.PauseEstNS = e.d.ReshardPauseEstimateNS(sm.Retained)
 		}
 		m.Shards = append(m.Shards, sm)
 	}
@@ -169,7 +184,8 @@ func (m Metrics) String() string {
 	if len(m.Shards) > 0 {
 		b.WriteString("shards:\n")
 		for _, s := range m.Shards {
-			fmt.Fprintf(&b, "  %-16s n=%-3d skew=%.2f in=%v\n", s.Name, s.N, s.Skew, s.In)
+			fmt.Fprintf(&b, "  %-16s n=%-3d skew=%.2f retained=%-8d pauseest=%.1fms in=%v\n",
+				s.Name, s.N, s.Skew, s.Retained, float64(s.PauseEstNS)/1e6, s.In)
 		}
 	}
 	if len(m.VOs) > 0 {

@@ -154,6 +154,17 @@ func TestPreRunReshard(t *testing.T) {
 	if m.Shards[0].Skew < 1 {
 		t.Fatalf("skew %v < 1 after input", m.Shards[0].Skew)
 	}
+	if len(m.Shards[0].Replicas) != 5 {
+		t.Fatalf("replica names: %v", m.Shards[0].Replicas)
+	}
+	// The hour-long window retains every element, and the pause estimate
+	// must price that state in (seed overhead + per-row cost).
+	if m.Shards[0].Retained != 5000 {
+		t.Fatalf("retained-state gauge: %d, want 5000", m.Shards[0].Retained)
+	}
+	if m.Shards[0].PauseEstNS <= 0 {
+		t.Fatalf("pause estimate missing: %+v", m.Shards[0])
+	}
 	if !strings.Contains(m.String(), "shards:") {
 		t.Fatal("metrics report misses the shards section")
 	}
