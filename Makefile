@@ -1,16 +1,18 @@
 GO ?= go
 
-.PHONY: ci vet build test race saturation bench benchsmoke bounded soakshort soakshard soakautoscale benchdiff fuzzsmoke
+.PHONY: ci vet build test race saturation bench benchsmoke bounded soakshort soakshard soakautoscale soakchurn benchdiff fuzzsmoke
 
 # The gate every PR must pass. benchsmoke compiles and runs every benchmark
 # once so a PR cannot rot the measurement harness silently; soakshort runs
 # the canonical burst + stall + live-reconfigure soak scenario with SLO
 # assertions; soakshard does the same for the data-parallel shard region
 # with live replica-count changes; soakautoscale closes the control loop
-# (the autoscaler must grow and shrink the region on its own); benchdiff
-# re-measures the tracked benchmarks and fails on regressions beyond the
-# tolerance band.
-ci: vet build test race saturation benchsmoke bounded soakshort soakshard soakautoscale benchdiff
+# (the autoscaler must grow and shrink the region on its own); soakchurn
+# registers and drops 50 standing queries live mid-burst through the
+# multi-query subsumption path with a zero-drop SLO; benchdiff re-measures
+# the tracked benchmarks and fails on regressions beyond the tolerance
+# band.
+ci: vet build test race saturation benchsmoke bounded soakshort soakshard soakautoscale soakchurn benchdiff
 
 # Covers cmd/ as well as internal/ — ./... is the whole module.
 vet:
@@ -56,6 +58,8 @@ bench:
 	@echo wrote BENCH_ops.json
 	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_shard.json
 	@echo wrote BENCH_shard.json
+	$(GO) test -run '^$$' -bench 'MultiQuery|RegisterSimilar' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_multi.json
+	@echo wrote BENCH_multi.json
 	$(GO) test -bench . -benchmem ./adapt | $(GO) run ./cmd/benchjson > BENCH_adapt.json
 	@echo wrote BENCH_adapt.json
 
@@ -64,7 +68,7 @@ bench:
 # are full evaluation runs and far too slow for a smoke pass.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/queue ./internal/sched ./internal/ingest ./internal/op ./cmd/hmtsd ./adapt
-	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard|MultiQuery|RegisterSimilar' -benchtime 1x .
 
 # The canonical soak gate: ~9 seconds of open-loop bursty load through the
 # external ingest path with a slow-consumer stall, a live mode switch, and
@@ -87,6 +91,13 @@ soakshard:
 soakautoscale:
 	$(GO) run ./cmd/hmtssoak -scenario autoscale
 
+# The query-churn soak gate: 50 standing queries registered and dropped
+# live mid-burst through the subsumption rewriter against a Block-policy
+# ingress. Catches splice deadlocks, pruned-queue leaks and lost elements
+# — zero drops are an SLO, not a hope.
+soakchurn:
+	$(GO) run ./cmd/hmtssoak -scenario churn
+
 # Perf-regression gate: re-measure the tracked benchmark suites with a
 # short benchtime (two repetitions, min taken) and diff against the
 # committed BENCH_*.json baselines. The tolerance band is wide (see
@@ -102,11 +113,13 @@ benchdiff:
 	  $(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./cmd/hmtsd; } | $(GO) run ./cmd/benchjson > .bench/ingest.json
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./internal/op | $(GO) run ./cmd/benchjson > .bench/ops.json
 	$(GO) test -run '^$$' -bench 'ShardScaling|LiveReshard' -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 . | $(GO) run ./cmd/benchjson > .bench/shard.json
+	$(GO) test -run '^$$' -bench 'MultiQuery|RegisterSimilar' -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 . | $(GO) run ./cmd/benchjson > .bench/multi.json
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHDIFF_TIME) -count=2 ./adapt | $(GO) run ./cmd/benchjson > .bench/adapt.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_sched.json .bench/sched.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ingest.json .bench/ingest.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_ops.json .bench/ops.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_shard.json .bench/shard.json
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_multi.json .bench/multi.json
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) BENCH_adapt.json .bench/adapt.json
 
 # Short fuzz pass over the hmtsd line protocol and the order-restoring

@@ -8,7 +8,15 @@
 //
 //	SOURCE <name> COUNT <n> RATE <hz> [KEYS <lo> <hi>] [SEED <s>] [STAMPED]
 //	SOURCE <name> EXTERNAL [POLICY block|drop-newest|drop-oldest] [BUFFER <n>] [RATE <hz>]
-//	QUERY <select-statement>            -> OK <id>
+//	QUERY <select-statement>            -> OK <id> (before START only)
+//	QUERY ADD <select-statement>        -> OK <id> (works before and after
+//	                                    START: on a running engine the plan
+//	                                    is spliced in live, sharing any
+//	                                    common prefix with standing queries)
+//	QUERY DROP <id>                     (unregister a standing query; its
+//	                                    exclusive operators are pruned and
+//	                                    DONE <id> is sent after in-flight
+//	                                    results flush)
 //	START [gts|ots|di|pure-di|hmts] [fifo|chain|roundrobin|maxqueue] [BOUND <n>]
 //	MODE <mode> [strategy]              (switch while running)
 //	REBALANCE                           (re-place queues from live stats)
@@ -109,6 +117,7 @@ type session struct {
 	externals map[string]*hmts.ExternalSource
 	started   bool
 	queries   int
+	qnames    map[int]string // query id -> engine query name, for QUERY DROP
 	flushReq  chan struct{}
 	closed    chan struct{}
 
@@ -126,6 +135,7 @@ func newSession(conn net.Conn) *session {
 		eng:       hmts.New(),
 		sources:   make(map[string]*hmts.Stream),
 		externals: make(map[string]*hmts.ExternalSource),
+		qnames:    make(map[int]string),
 		flushReq:  make(chan struct{}, 1),
 		closed:    make(chan struct{}),
 	}
@@ -504,24 +514,68 @@ func (s *session) cmdClose(rest string) {
 }
 
 func (s *session) cmdQuery(rest string) {
+	f := strings.Fields(rest)
+	if len(f) > 0 {
+		switch strings.ToUpper(f[0]) {
+		case "ADD":
+			s.cmdQueryAdd(strings.TrimSpace(rest[len(f[0]):]))
+			return
+		case "DROP":
+			s.cmdQueryDrop(f[1:])
+			return
+		}
+	}
+	// Legacy QUERY keeps its pre-start-only contract but registers through
+	// the same multi-query layer, so identical queries share a plan.
 	if s.started {
-		s.send("ERR engine already started")
+		s.send("ERR engine already started (use QUERY ADD on a running engine)")
 		return
 	}
-	q, err := ql.Parse(rest)
-	if err != nil {
-		s.send("ERR %v", err)
-		return
-	}
-	out, err := ql.Plan(s.eng, s.sources, q)
+	s.cmdQueryAdd(rest)
+}
+
+// cmdQueryAdd registers a standing query; before START it only extends
+// the graph, on a running engine the plan is spliced in live.
+func (s *session) cmdQueryAdd(sel string) {
+	q, err := ql.Parse(sel)
 	if err != nil {
 		s.send("ERR %v", err)
 		return
 	}
 	id := s.queries
+	name := fmt.Sprintf("q%d", id)
+	err = s.eng.AddQuery(name, &resultSink{s: s, id: id}, func() (*hmts.Stream, error) {
+		return ql.Plan(s.eng, s.sources, q)
+	})
+	if err != nil {
+		s.send("ERR %v", err)
+		return
+	}
 	s.queries++
-	out.Into(fmt.Sprintf("client-q%d", id), &resultSink{s: s, id: id})
+	s.qnames[id] = name
 	s.send("OK %d", id)
+}
+
+// cmdQueryDrop removes a standing query by the id QUERY/QUERY ADD
+// returned. On a running engine in-flight results for the query are
+// flushed, then its DONE marker is sent.
+func (s *session) cmdQueryDrop(f []string) {
+	if len(f) != 1 {
+		s.send("ERR QUERY DROP needs a query id")
+		return
+	}
+	id, err := strconv.Atoi(f[0])
+	name, ok := s.qnames[id]
+	if err != nil || !ok {
+		s.send("ERR no query %q", f[0])
+		return
+	}
+	if err := s.eng.DropQuery(name); err != nil {
+		s.send("ERR %v", err)
+		return
+	}
+	delete(s.qnames, id)
+	s.send("OK dropped %d", id)
 }
 
 func (s *session) cmdStart(rest string) {

@@ -203,6 +203,77 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
+// TestServerQueryAddDropLive drives the multi-query protocol end to end:
+// a standing query over a Block-policy external source, a second identical
+// query registered live mid-stream (subsumed into the standing plan), a
+// divergent third registered live and then dropped live (its DONE marker
+// must flush), with zero element loss on the standing query. startServer's
+// VerifyNoLeaks asserts the add/drop splices leak no goroutines.
+func TestServerQueryAddDropLive(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.sendLine("SOURCE ext EXTERNAL POLICY block BUFFER 256")
+	c.expect("OK source ext")
+	c.sendLine("QUERY SELECT * FROM ext WHERE key < 50")
+	c.expect("OK 0")
+	c.sendLine("START gts BOUND 256")
+	c.expect("OK running")
+
+	push := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.sendLine(fmt.Sprintf("PUSH ext %d %d %d", (i+1)*1000, i%100, i))
+		}
+	}
+	push(0, 1000)
+	// Identical predicate: the rewriter subsumes it into the standing plan
+	// and the splice adds only a sink — no restart, no drops.
+	c.sendLine("QUERY ADD SELECT * FROM ext WHERE key < 50")
+	c.expect("OK 1")
+	// Divergent predicate: a private filter spliced in live...
+	c.sendLine("QUERY ADD SELECT * FROM ext WHERE key >= 50")
+	c.expect("OK 2")
+	push(1000, 2000)
+	// ...and dropped live: the exclusive suffix is pruned and the query's
+	// DONE marker flushes while everything else keeps flowing.
+	c.sendLine("QUERY DROP 2")
+	c.expect("OK dropped 2")
+	c.waitDone("2")
+	c.sendLine("CLOSE ext")
+	c.expect("OK closed ext")
+	c.sendLine("WAIT")
+	c.waitDone("0")
+	c.waitDone("1")
+	c.expect("OK finished")
+	if got := c.results["0"]; got != 1000 {
+		t.Fatalf("standing query got %d results, want 1000 (Block policy loses nothing)", got)
+	}
+	if got := c.results["1"]; got > c.results["0"] {
+		t.Fatalf("live-added query saw %d results, more than the standing query's %d", got, c.results["0"])
+	}
+	// A dropped id no longer resolves.
+	c.sendLine("QUERY DROP 2")
+	if line := c.readLine(); !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("want ERR for double drop, got %s", line)
+	}
+	// The metrics queries section reports the surviving queries sharing
+	// their one operator (refs=2 on the common filter).
+	c.sendLine("METRICS")
+	info := c.expect("OK metrics")
+	for _, q := range []string{"q0", "q1"} {
+		found := false
+		for _, line := range info {
+			if strings.Contains(line, q) && strings.Contains(line, "shared=1") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("METRICS missing a %s line with shared=1:\n%s", q, strings.Join(info, "\n"))
+		}
+	}
+	c.sendLine("QUIT")
+	c.expect("OK bye")
+}
+
 func TestServerConcurrentClients(t *testing.T) {
 	addr := startServer(t)
 	const clients = 4

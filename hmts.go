@@ -88,9 +88,20 @@ type Engine struct {
 	d       *sched.Deployment
 	cfg     RunConfig
 	running bool
-	// mu serializes structural mutations of a live graph (Reshard) against
-	// snapshot readers (Metrics), which walk the node table.
+	// mu serializes structural mutations of a live graph (Reshard,
+	// AddQuery, DropQuery) against snapshot readers (Metrics), which walk
+	// the node table.
 	mu sync.RWMutex
+
+	// Multi-query registration state (see query.go). queries maps a
+	// registered standing query's name to its record, refs counts how many
+	// registered queries reference each operator node, and curQuery is
+	// non-nil only while an AddQuery build closure runs — it is what makes
+	// the builder's place() share operators.
+	queries  map[string]*queryReg
+	refs     map[int]int
+	curQuery *queryReg
+	nextQSeq int
 }
 
 // New returns an empty engine.

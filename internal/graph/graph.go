@@ -68,6 +68,16 @@ type Node struct {
 	// region by ApplyShard. The builder layer fills it in for keyed
 	// stateful operators.
 	Shardable *ShardSpec
+
+	// FP is the node's canonical operator fingerprint (see subsume.go):
+	// a stable hash of (operator parameters, upstream fingerprints) that
+	// lets multi-query registration detect identical prefix chains. Zero
+	// means unfingerprinted — the node never unifies with another plan.
+	FP uint64
+	// FPParams is the canonical parameter string hashed into FP; FindFP
+	// verifies it exactly so hash collisions cannot unify distinct
+	// operators.
+	FPParams string
 }
 
 // DNS returns d(v), the mean interarrival time of the node's input in
@@ -109,6 +119,8 @@ type Graph struct {
 	in     map[int][]Edge
 	shards []*ShardGroup
 	role   map[int]shardRole
+	// fps indexes fingerprinted nodes for FindFP (see subsume.go).
+	fps map[uint64][]int
 }
 
 // New returns an empty graph.
@@ -190,6 +202,7 @@ func (g *Graph) removeNode(n *Node) {
 	if len(g.out[n.ID]) > 0 || len(g.in[n.ID]) > 0 {
 		panic(fmt.Sprintf("graph: removeNode %q with live edges", n.Name))
 	}
+	g.unindexFP(n)
 	delete(g.out, n.ID)
 	delete(g.in, n.ID)
 	delete(g.role, n.ID)
@@ -202,6 +215,11 @@ func (g *Graph) node(id int) *Node {
 	}
 	return g.nodes[id]
 }
+
+// NodeOrNil returns the node with the given ID, or nil if the ID is out
+// of range or was removed — for callers walking an ID range that may
+// contain holes.
+func (g *Graph) NodeOrNil(id int) *Node { return g.node(id) }
 
 // Node returns the node with the given ID; it panics on unknown IDs.
 func (g *Graph) Node(id int) *Node {

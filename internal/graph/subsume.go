@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// This file implements the substrate of multi-query common-prefix
+// subsumption: canonical operator fingerprints. A fingerprint is a stable
+// hash of (operator parameters, upstream fingerprints), so two queries
+// that build the same operator chain over the same sources produce the
+// same fingerprint at every shared position — the engine's query
+// registration layer uses the index to merge a new query's plan into the
+// live graph at the longest shared prefix and fan out at the divergence
+// point. The graph only stores and indexes fingerprints; which nodes are
+// eligible for sharing (refcounts, ownership) is the engine's policy.
+
+// FPIn names one upstream attachment of a prospective operator: the
+// producing node and the input port the edge would target.
+type FPIn struct {
+	From *Node
+	Port int
+}
+
+// NodeFP returns the node's fingerprint identity as seen by downstream
+// fingerprints. Nodes registered through SetFP use their canonical
+// fingerprint; any other node (hand-built operators, sources, shard
+// merges) falls back to an identity hash of its node ID — deterministic
+// within this graph, and never equal across distinct nodes, so chains
+// rooted at such a node share only when they hang off the very same node.
+func (g *Graph) NodeFP(n *Node) uint64 {
+	if n.FP != 0 {
+		return n.FP
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(n.ID))
+	h.Write([]byte("id:"))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// FPOf computes the canonical fingerprint of an operator with the given
+// parameter string attached to the given upstream producers (in port
+// order). The parameter string must canonically encode the operator's
+// kind and behavior — equal params must mean equal semantics.
+func (g *Graph) FPOf(params string, ins []FPIn) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(params))
+	var b [8]byte
+	for _, in := range ins {
+		binary.LittleEndian.PutUint64(b[:], g.NodeFP(in.From))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(in.Port))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// SetFP records a node's canonical fingerprint and indexes it for
+// FindFP lookups. The node's in-edges must already be connected.
+func (g *Graph) SetFP(n *Node, params string, fp uint64) {
+	if g.node(n.ID) != n {
+		panic("graph: SetFP of foreign node")
+	}
+	if fp == 0 {
+		fp = 1 // 0 means "unfingerprinted"; never store it
+	}
+	n.FP = fp
+	n.FPParams = params
+	if g.fps == nil {
+		g.fps = make(map[uint64][]int)
+	}
+	g.fps[fp] = append(g.fps[fp], n.ID)
+}
+
+// FindFP returns an indexed operator node whose params and upstream
+// wiring exactly match the prospective operator described by (params,
+// ins), or nil. The fingerprint is only the index key; candidates are
+// verified structurally (parameter string, in-edge count, and the exact
+// (From, Port) of every in-edge), so a hash collision can never cause two
+// different operators to be unified.
+func (g *Graph) FindFP(fp uint64, params string, ins []FPIn) *Node {
+	if fp == 0 {
+		fp = 1
+	}
+	for _, id := range g.fps[fp] {
+		n := g.node(id)
+		if n == nil || n.Kind != KindOp || n.FPParams != params {
+			continue
+		}
+		if !g.insMatch(n, ins) {
+			continue
+		}
+		return n
+	}
+	return nil
+}
+
+// insMatch reports whether node n's in-edges are exactly the attachments
+// described by ins.
+func (g *Graph) insMatch(n *Node, ins []FPIn) bool {
+	es := g.in[n.ID]
+	if len(es) != len(ins) {
+		return false
+	}
+	for _, in := range ins {
+		found := false
+		for _, e := range es {
+			if e.ToPort == in.Port && e.From == in.From.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// unindexFP drops a node from the fingerprint index (part of removeNode).
+func (g *Graph) unindexFP(n *Node) {
+	if n.FP == 0 {
+		return
+	}
+	ids := g.fps[n.FP]
+	for i, id := range ids {
+		if id == n.ID {
+			g.fps[n.FP] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(g.fps[n.FP]) == 0 {
+		delete(g.fps, n.FP)
+	}
+}
+
+// Disconnect removes one edge. Exported for the engine's multi-query
+// rewriter, which prunes a dropped query's exclusively-owned suffix; it
+// panics on an unknown edge, which always indicates a rewrite bug.
+func (g *Graph) Disconnect(e Edge) { g.disconnect(e) }
+
+// RemoveNode deletes a node whose edges have all been disconnected,
+// leaving a nil hole at its ID (IDs stay stable). Exported for the
+// engine's multi-query rewriter.
+func (g *Graph) RemoveNode(n *Node) { g.removeNode(n) }
+
+// DropShardGroup removes a shard region from the region table after its
+// member nodes have been pruned (query removal). The member nodes
+// themselves are removed via RemoveNode; this drops the group so MustCut,
+// ShardGroups and the shard metrics no longer see it.
+func (g *Graph) DropShardGroup(gr *ShardGroup) error {
+	for i, x := range g.shards {
+		if x == gr {
+			g.shards = append(g.shards[:i], g.shards[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("graph: DropShardGroup of unknown group %q", gr.Name)
+}

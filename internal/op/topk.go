@@ -1,7 +1,6 @@
 package op
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"github.com/dsms/hmts/internal/stream"
@@ -21,7 +20,9 @@ type TopK struct {
 	counts  map[int64]int64
 	order   fifo
 	inTop   map[int64]bool
-	heldPub atomic.Int64 // published order.len() for race-free RetainedRows
+	spare   map[int64]bool // cleared and swapped with inTop each step
+	cand    []int64        // reused candidate buffer for top-k selection
+	heldPub atomic.Int64   // published order.len() for race-free RetainedRows
 }
 
 // NewTopK returns a top-k tracker over a time window in nanoseconds.
@@ -32,29 +33,50 @@ func NewTopK(name string, k int, window int64) *TopK {
 	if window <= 0 {
 		panic("op: TopK window must be positive")
 	}
-	t := &TopK{k: k, window: window, counts: make(map[int64]int64), inTop: make(map[int64]bool)}
+	t := &TopK{
+		k:      k,
+		window: window,
+		counts: make(map[int64]int64),
+		inTop:  make(map[int64]bool),
+		spare:  make(map[int64]bool),
+		cand:   make([]int64, 0, k),
+	}
 	t.InitBase(name, 1)
 	return t
 }
 
 // Top returns the current top-k keys, most frequent first (ties by
-// ascending key).
+// ascending key). The returned slice is the caller's to keep.
 func (t *TopK) Top() []int64 {
-	keys := make([]int64, 0, len(t.counts))
-	for k := range t.counts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		ci, cj := t.counts[keys[i]], t.counts[keys[j]]
-		if ci != cj {
-			return ci > cj
+	return append([]int64(nil), t.topInto()...)
+}
+
+// topInto refreshes t.cand with the current top-k keys, most frequent
+// first (ties by ascending key), allocation-free: a bounded insertion
+// into the k-slot candidate buffer replaces sorting the whole key set on
+// every element.
+func (t *TopK) topInto() []int64 {
+	cand := t.cand[:0]
+	for key, c := range t.counts {
+		i := len(cand)
+		for i > 0 {
+			pk := cand[i-1]
+			if pc := t.counts[pk]; pc > c || (pc == c && pk < key) {
+				break
+			}
+			i--
 		}
-		return keys[i] < keys[j]
-	})
-	if len(keys) > t.k {
-		keys = keys[:t.k]
+		if i == t.k {
+			continue // ranks below every kept candidate
+		}
+		if len(cand) < t.k {
+			cand = append(cand, 0)
+		}
+		copy(cand[i+1:], cand[i:])
+		cand[i] = key
 	}
-	return keys
+	t.cand = cand
+	return cand
 }
 
 // step folds one element into the window counts and appends an element to
@@ -73,15 +95,16 @@ func (t *TopK) step(e stream.Element, out []stream.Element) []stream.Element {
 	t.counts[e.Key]++
 	t.order.push(stream.Element{TS: e.TS, Key: e.Key, Seq: e.Seq})
 
-	top := t.Top()
-	newSet := make(map[int64]bool, len(top))
+	top := t.topInto()
+	newSet := t.spare
+	clear(newSet)
 	for _, k := range top {
 		newSet[k] = true
 		if !t.inTop[k] {
 			out = append(out, stream.Element{TS: e.TS, Key: k, Val: float64(t.counts[k]), Seq: e.Seq})
 		}
 	}
-	t.inTop = newSet
+	t.spare, t.inTop = t.inTop, newSet
 	return out
 }
 
@@ -102,7 +125,7 @@ func (t *TopK) RetainedRows() int { return int(t.heldPub.Load()) }
 // ImportShardElement implements ShardState: replay one marker, rebuilding
 // counts and the in-top set without emitting.
 func (t *TopK) ImportShardElement(_ int, e stream.Element) {
-	out := t.step(e, t.scratch(1))
+	out := t.step(e, t.scratch(t.k))
 	t.obuf = out[:0]
 	t.heldPub.Store(int64(t.order.len()))
 }
@@ -110,7 +133,9 @@ func (t *TopK) ImportShardElement(_ int, e stream.Element) {
 // Process implements Sink.
 func (t *TopK) Process(_ int, e stream.Element) {
 	w := t.BeginWork(e)
-	out := t.step(e, t.scratch(1))
+	// Up to k keys can enter the top set on one element; size the emit
+	// buffer for that so the hot path never grows it.
+	out := t.step(e, t.scratch(t.k))
 	for _, r := range out {
 		t.Emit(r)
 	}

@@ -21,11 +21,14 @@ func (f *fifo) front() stream.Element { return f.buf[f.head] }
 
 // pop removes and returns the oldest element, compacting the backing slice
 // once half of it is dead so memory stays proportional to the live window.
+// Compacting even at tiny sizes keeps a steady-state window appending
+// within one stable capacity instead of growing the slice forever, so the
+// hot path allocates nothing once warmed up (amortized O(1) copies).
 func (f *fifo) pop() stream.Element {
 	e := f.buf[f.head]
 	f.buf[f.head] = stream.Element{} // release Aux for GC
 	f.head++
-	if f.head > len(f.buf)/2 && f.head > 32 {
+	if f.head > len(f.buf)/2 {
 		n := copy(f.buf, f.buf[f.head:])
 		f.buf = f.buf[:n]
 		f.head = 0
@@ -64,10 +67,12 @@ func (d *f64deque) pushBack(v float64) { d.buf = append(d.buf, v) }
 func (d *f64deque) popBack() { d.buf = d.buf[:len(d.buf)-1] }
 
 // popFront drops the oldest value, compacting once half the backing slice
-// is dead so memory stays proportional to the live window.
+// is dead so memory stays proportional to the live window; as in
+// fifo.pop, compacting at tiny sizes too keeps steady-state appends
+// within one stable capacity (no per-element growth allocations).
 func (d *f64deque) popFront() {
 	d.head++
-	if d.head > len(d.buf)/2 && d.head > 32 {
+	if d.head > len(d.buf)/2 {
 		n := copy(d.buf, d.buf[d.head:])
 		d.buf = d.buf[:n]
 		d.head = 0

@@ -80,11 +80,14 @@ type Deployment struct {
 	err   error
 }
 
-// srcTarget is one resolved output edge of a source.
+// srcTarget is one resolved output edge of a source. key names the graph
+// edge it resolves, so a delivery that raced a splice can find the same
+// edge's fresh placement (or learn the edge is gone) in the rebuilt list.
 type srcTarget struct {
 	sink op.Sink
 	port int
 	gate *Gate
+	key  graph.EdgeKey
 }
 
 // srcAdapter is the Sink handed to a source's Run; it fans elements out to
@@ -96,28 +99,47 @@ type srcAdapter struct {
 	finished atomic.Bool
 }
 
-// lockTarget returns the target of the source's i'th out-edge with its VO
-// gate (if any) held. A contended gate is acquired cooperatively: the
-// holder may itself be parked on downstream backpressure with its world
-// read lock yielded — wakeable only by space or poison — so blocking on
-// the gate while still holding our own read lock would wedge a pending
-// Reconfigure (its world.Lock waits behind us, every executor is already
-// halted, and nothing left could free the space). The read lock is
-// yielded around the wait and retaken after; that inverted reacquisition
-// (gate, then read lock) cannot deadlock because the only world writer
-// never takes gates. If a Reconfigure rewired the sources while we
-// waited, the acquired gate belongs to a stale target — the edge may have
-// gained a queue, the VO's gate may have been replaced — so it is dropped
-// and the same edge's target re-resolved: rewireTargets keeps targets in
-// g.Edges() order and edges never change, so index i always denotes the
-// same graph edge.
-func (a *srcAdapter) lockTarget(i int) *srcTarget {
+// lockTarget returns the snapshot's i'th target with its VO gate (if any)
+// held. The snapshot (ts, gen) was taken under the world read lock at the
+// start of the fan-out; a splice that ran while an earlier delivery was
+// parked on downstream backpressure (read lock yielded) may have rebuilt
+// a.targets since — including adding or removing source out-edges, so
+// indexes do not survive a rewire. When gen is stale the entry's graph
+// edge is re-resolved by key against the fresh list; a missing edge was
+// spliced out (its query dropped mid-element) and nil is returned so the
+// caller skips the delivery.
+//
+// A contended gate is acquired cooperatively: the holder may itself be
+// parked on downstream backpressure with its world read lock yielded —
+// wakeable only by space or poison — so blocking on the gate while still
+// holding our own read lock would wedge a pending splice (its world.Lock
+// waits behind us, every executor is already halted, and nothing left
+// could free the space). The read lock is yielded around the wait and
+// retaken after; that inverted reacquisition (gate, then read lock)
+// cannot deadlock because the only world writer never takes gates. If a
+// splice rewired the sources while we waited, the acquired gate belongs
+// to a stale target — the edge may have gained a queue, the VO's gate may
+// have been replaced — so it is dropped and the edge re-resolved.
+func (a *srcAdapter) lockTarget(ts []srcTarget, gen uint64, i int) *srcTarget {
 	for {
-		t := &a.targets[i]
+		if a.d.wireGen != gen {
+			key := ts[i].key
+			ts, gen = a.targets, a.d.wireGen
+			i = -1
+			for j := range ts {
+				if ts[j].key == key {
+					i = j
+					break
+				}
+			}
+			if i < 0 {
+				return nil
+			}
+		}
+		t := &ts[i]
 		if t.gate == nil || t.gate.TryLock() {
 			return t
 		}
-		gen := a.d.wireGen
 		a.d.world.RUnlock()
 		t.gate.Lock()
 		a.d.world.RLock()
@@ -133,13 +155,17 @@ func (a *srcAdapter) lockTarget(i int) *srcTarget {
 func (a *srcAdapter) Process(_ int, e stream.Element) {
 	a.d.world.RLock()
 	defer a.d.world.RUnlock()
-	for i := range a.targets {
-		a.deliverTo(i, e)
+	ts, gen := a.targets, a.d.wireGen
+	for i := range ts {
+		a.deliverTo(ts, gen, i, e)
 	}
 }
 
-func (a *srcAdapter) deliverTo(i int, e stream.Element) {
-	t := a.lockTarget(i)
+func (a *srcAdapter) deliverTo(ts []srcTarget, gen uint64, i int, e stream.Element) {
+	t := a.lockTarget(ts, gen, i)
+	if t == nil {
+		return // edge spliced out while parked: the element has no destination
+	}
 	if t.gate != nil {
 		defer t.gate.Unlock()
 	}
@@ -153,13 +179,17 @@ func (a *srcAdapter) deliverTo(i int, e stream.Element) {
 func (a *srcAdapter) ProcessBatch(_ int, es []stream.Element) {
 	a.d.world.RLock()
 	defer a.d.world.RUnlock()
-	for i := range a.targets {
-		a.deliverBatchTo(i, es)
+	ts, gen := a.targets, a.d.wireGen
+	for i := range ts {
+		a.deliverBatchTo(ts, gen, i, es)
 	}
 }
 
-func (a *srcAdapter) deliverBatchTo(i int, es []stream.Element) {
-	t := a.lockTarget(i)
+func (a *srcAdapter) deliverBatchTo(ts []srcTarget, gen uint64, i int, es []stream.Element) {
+	t := a.lockTarget(ts, gen, i)
+	if t == nil {
+		return
+	}
 	if t.gate != nil {
 		defer t.gate.Unlock()
 	}
@@ -177,13 +207,17 @@ func (a *srcAdapter) Done(int) {
 	a.d.world.RLock()
 	defer a.d.world.RUnlock()
 	a.finished.Store(true)
-	for i := range a.targets {
-		a.doneTo(i)
+	ts, gen := a.targets, a.d.wireGen
+	for i := range ts {
+		a.doneTo(ts, gen, i)
 	}
 }
 
-func (a *srcAdapter) doneTo(i int) {
-	t := a.lockTarget(i)
+func (a *srcAdapter) doneTo(ts []srcTarget, gen uint64, i int) {
+	t := a.lockTarget(ts, gen, i)
+	if t == nil {
+		return
+	}
 	if t.gate != nil {
 		defer t.gate.Unlock()
 	}
@@ -352,7 +386,7 @@ func (d *Deployment) wire() {
 				gate = d.gates[d.voOf[e.To]]
 			}
 			a := d.adapters[from.ID]
-			a.targets = append(a.targets, srcTarget{sink: target, port: tport, gate: gate})
+			a.targets = append(a.targets, srcTarget{sink: target, port: tport, gate: gate, key: e.Key()})
 		default:
 			if sh, ok := d.g.SplitEdgeShard(e); ok {
 				from.Op.(*op.Split).SubscribeShard(sh, e.ToPort, target, tport)

@@ -244,11 +244,11 @@ func downstreamSink(n *graph.Node) op.Sink {
 }
 
 // rewireTargets recomputes every source adapter's resolved targets from
-// the current cut and gates. Caller holds the world write lock. Targets
-// are rebuilt in g.Edges() order, so a source edge keeps its index across
-// rewires — the invariant lockTarget's stale-target re-resolution relies
-// on. wireGen is bumped so a source that yielded its read lock around a
-// gate wait can detect the rewire.
+// the current cut and gates. Caller holds the world write lock. A splice
+// may add or remove source out-edges, so indexes do NOT survive a rewire;
+// each target carries its graph edge key and lockTarget re-resolves a
+// stale entry by key. wireGen is bumped so a source that yielded its read
+// lock around a park or a gate wait can detect the rewire.
 func (d *Deployment) rewireTargets() {
 	d.wireGen++
 	for _, n := range d.g.Sources() {
@@ -261,13 +261,13 @@ func (d *Deployment) rewireTargets() {
 		}
 		a := d.adapters[from.ID]
 		if q := d.queues[e.Key()]; q != nil {
-			a.targets = append(a.targets, srcTarget{sink: q, port: 0})
+			a.targets = append(a.targets, srcTarget{sink: q, port: 0, key: e.Key()})
 			continue
 		}
 		var gate *Gate
 		if to.Kind != graph.KindSink {
 			gate = d.gates[d.voOf[e.To]]
 		}
-		a.targets = append(a.targets, srcTarget{sink: downstreamSink(to), port: e.ToPort, gate: gate})
+		a.targets = append(a.targets, srcTarget{sink: downstreamSink(to), port: e.ToPort, gate: gate, key: e.Key()})
 	}
 }

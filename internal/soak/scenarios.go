@@ -239,6 +239,50 @@ func Scenarios() map[string]Scenario {
 		},
 	})
 
+	// churn: the multi-query registration path under fire — 50 standing
+	// queries are registered live through the subsumption rewriter while
+	// bursts land on a Block-policy ingress, each new query splicing into
+	// the shared prefix and, once a dozen are up, each registration also
+	// pruning the oldest query's private suffix. The SLOs are splice
+	// tripwires: a registration that wedges the halt/rewire/restart cycle,
+	// a prune that strands a bounded queue, or a leak of executor capacity
+	// all show up as starved throughput or unbounded backlog — and Block
+	// policy means not one element may be shed across 50 add/drop splices.
+	add(Scenario{
+		Name:        "churn",
+		Description: "50 live query registrations and drops mid-burst under Block ingress, zero drops, ~9s",
+		Duration:    9 * time.Second,
+		Shape: workload.BurstShape{
+			BaseHz:   3_000,
+			BurstHz:  15_000,
+			PeriodNS: (4 * time.Second).Nanoseconds(),
+			BurstNS:  time.Second.Nanoseconds(),
+			OffsetNS: time.Second.Nanoseconds(),
+		},
+		Keys:       4096,
+		ZipfS:      1.2,
+		Seed:       57,
+		Mode:       hmts.ModeGTS,
+		QueueBound: 4096,
+		Policy:     hmts.Block,
+		Buffer:     8192,
+		OpCostNS:   5_000,
+		Window:     500 * time.Millisecond,
+		Churn: &ChurnSpec{
+			Start:    1500 * time.Millisecond,
+			Stagger:  120 * time.Millisecond, // 50 registrations over ~6s
+			Queries:  50,
+			MaxAlive: 12,
+		},
+		SLOs: []slo.Assertion{
+			slo.LatencyBelow{Q: slo.P50, Bound: 2 * time.Second, Frac: 0.7},
+			slo.LatencyBelow{Q: slo.P99, Bound: 5 * time.Second, Frac: 0.7},
+			slo.BoundedBacklog{MaxIngress: 8192, MaxQueue: 3 * 4096},
+			slo.MinThroughput{PerSec: 200, Frac: 0.6},
+			slo.MaxDropFrac{Frac: 0}, // Block policy: nothing may be shed
+		},
+	})
+
 	// switchstorm: live reconfiguration under fire — mode and placement
 	// switches every few seconds while bursts land. The engine must never
 	// wedge and the measured path must keep flowing between switches.

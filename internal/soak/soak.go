@@ -127,6 +127,10 @@ type Scenario struct {
 	// replica count from measured c(v)/d(v), with no faults scripting
 	// the reshards.
 	Autoscale *AutoscaleSpec
+	// Churn, when set, registers and drops standing queries against the
+	// ingress stream mid-run through Engine.AddQuery/DropQuery — the
+	// multi-query subsumption path spliced live under load.
+	Churn *ChurnSpec
 	// Sample bounds the per-second latency reservoir (0 = default).
 	Sample int
 	// Faults is the injection timeline.
@@ -158,6 +162,24 @@ type AutoscaleSpec struct {
 	MaxReshards   int
 	RequireGrow   bool
 	RequireShrink bool
+}
+
+// ChurnSpec parameterizes mid-run query churn: Queries registrations are
+// spread one per Stagger starting at Start, every query sharing a common
+// selective prefix (the subsumption rewriter merges them at that prefix)
+// with a private per-query suffix; once more than MaxAlive are standing,
+// each new registration also drops the oldest, so the run continuously
+// exercises both the live-add and the live-prune splice paths while the
+// load generator is mid-burst.
+type ChurnSpec struct {
+	// Start is the offset of the first registration; Stagger the gap
+	// between registrations (defaults to 100ms when <= 0).
+	Start   time.Duration
+	Stagger time.Duration
+	// Queries is how many registrations the run performs in total.
+	Queries int
+	// MaxAlive caps concurrently standing churn queries (0 = no drops).
+	MaxAlive int
 }
 
 // Result is a completed run.
@@ -335,6 +357,7 @@ func Run(sc Scenario, w io.Writer) *Result {
 	}()
 
 	faultDone := runFaults(eng, sc, cost, sink, mon, start, logf)
+	churnDone, churnErr := runChurn(eng, src, sc.Churn, mon, start, stopLoad, logf)
 
 	// Per-second collection: roll the monitor and attach engine gauges.
 	var lastDropped uint64
@@ -392,6 +415,10 @@ collect:
 	}
 	<-loadDone
 	<-faultDone
+	<-churnDone
+	if *churnErr != nil && res.Err == nil {
+		res.Err = fmt.Errorf("soak: query churn: %w", *churnErr)
+	}
 	if ctl != nil {
 		ctl.Stop()
 	}
@@ -617,6 +644,75 @@ func runFaults(eng *hmts.Engine, sc Scenario, cost *op.CostSim, sink *monitorSin
 		}
 	}()
 	return done
+}
+
+// runChurn schedules the query-churn timeline on its own goroutine: every
+// Stagger it registers one more standing query against the ingress stream
+// (shared prefix, private threshold suffix) and, once MaxAlive are up,
+// drops the oldest. Returns a channel closed when the churn is over and a
+// pointer to its first error, valid to read after the channel closes.
+func runChurn(eng *hmts.Engine, src *hmts.Stream, cs *ChurnSpec, mon *slo.Monitor, start int64, stop <-chan struct{}, logf func(string, ...any)) (<-chan struct{}, *error) {
+	done := make(chan struct{})
+	errp := new(error)
+	if cs == nil || cs.Queries <= 0 {
+		close(done)
+		return done, errp
+	}
+	go func() {
+		defer close(done)
+		stagger := cs.Stagger
+		if stagger <= 0 {
+			stagger = 100 * time.Millisecond
+		}
+		mon.Event("churn+")
+		var alive []string
+		added, dropped := 0, 0
+		for i := 0; i < cs.Queries; i++ {
+			at := cs.Start + time.Duration(i)*stagger
+			if wait := at.Nanoseconds() - (ingest.Now() - start); wait > 0 {
+				select {
+				case <-stop:
+				case <-time.After(time.Duration(wait)):
+				}
+			}
+			select {
+			case <-stop:
+				// The load deadline passed: a query added now would only
+				// ever see the drain, so no more registrations.
+				i = cs.Queries
+				continue
+			default:
+			}
+			name := fmt.Sprintf("churn%d", i)
+			thr := float64(i % 13)
+			if err := eng.AddQuery(name, op.NewNull(1), func() (*hmts.Stream, error) {
+				// The prefix is byte-for-byte the same plan in every churn
+				// query, so the subsumption rewriter instantiates it once;
+				// the threshold filter diverges per query and is pruned
+				// with the query on drop.
+				return src.
+					Where("churn-hot", func(e hmts.Element) bool { return e.Key%2 == 0 }).
+					Where(fmt.Sprintf("churn-thr%d", i), func(e hmts.Element) bool { return e.Val >= thr }), nil
+			}); err != nil {
+				*errp = fmt.Errorf("add %s: %w", name, err)
+				return
+			}
+			added++
+			alive = append(alive, name)
+			if cs.MaxAlive > 0 && len(alive) > cs.MaxAlive {
+				oldest := alive[0]
+				alive = alive[1:]
+				if err := eng.DropQuery(oldest); err != nil {
+					*errp = fmt.Errorf("drop %s: %w", oldest, err)
+					return
+				}
+				dropped++
+			}
+		}
+		mon.Event("churn-")
+		logf("churn: added=%d dropped=%d standing=%d", added, dropped, len(alive))
+	}()
+	return done, errp
 }
 
 // waitWithin waits for ch, calling onTick once per second meanwhile, and

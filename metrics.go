@@ -79,6 +79,20 @@ type ShardMetrics struct {
 	PauseEstNS int64
 }
 
+// QueryMetrics is a snapshot of one registered standing query (AddQuery),
+// making multi-query plan sharing measurable: Shared counts the query's
+// operators whose refcount exceeds one (subsumed into another query's
+// prefix), Private the operators only this query pays for — including its
+// shard-region members, which are never shared.
+type QueryMetrics struct {
+	Name      string
+	Ops       int     // operators the query references (Shared + Private)
+	Shared    int     // operators shared with at least one other query
+	Private   int     // operators exclusively owned (incl. shard regions)
+	Out       uint64  // results delivered to the query's sink
+	OutRateHz float64 // mean delivery rate between first and last result
+}
+
 // Metrics is an engine-wide snapshot.
 type Metrics struct {
 	Mode      Mode // current scheduling mode
@@ -87,6 +101,7 @@ type Metrics struct {
 	Queues    []QueueMetrics
 	Ingest    []IngestMetrics // external sources' ingress buffers
 	Shards    []ShardMetrics  // shard regions' per-replica load
+	Queries   []QueryMetrics  // registered standing queries, in registration order
 	VOs       [][]int
 }
 
@@ -142,6 +157,25 @@ func (e *Engine) Metrics() Metrics {
 		}
 		m.Shards = append(m.Shards, sm)
 	}
+	for _, name := range e.queryNamesLocked() {
+		reg := e.queries[name]
+		qm := QueryMetrics{Name: name}
+		for _, id := range reg.nodes {
+			if e.refs[id] > 1 {
+				qm.Shared++
+			} else {
+				qm.Private++
+			}
+		}
+		qm.Private += len(reg.regionNodeIDs())
+		qm.Ops = qm.Shared + qm.Private
+		qm.Out = reg.tap.out.Load()
+		first, last := reg.tap.firstNS.Load(), reg.tap.lastNS.Load()
+		if first > 0 && last > first {
+			qm.OutRateHz = float64(qm.Out) / (float64(last-first) / 1e9)
+		}
+		m.Queries = append(m.Queries, qm)
+	}
 	if e.d != nil {
 		for _, q := range e.d.Queues() {
 			m.Queues = append(m.Queues, QueueMetrics{
@@ -186,6 +220,13 @@ func (m Metrics) String() string {
 		for _, s := range m.Shards {
 			fmt.Fprintf(&b, "  %-16s n=%-3d skew=%.2f retained=%-8d pauseest=%.1fms in=%v\n",
 				s.Name, s.N, s.Skew, s.Retained, float64(s.PauseEstNS)/1e6, s.In)
+		}
+	}
+	if len(m.Queries) > 0 {
+		b.WriteString("queries:\n")
+		for _, q := range m.Queries {
+			fmt.Fprintf(&b, "  %-16s ops=%-4d shared=%-4d private=%-4d out=%-10d rate=%.1f/s\n",
+				q.Name, q.Ops, q.Shared, q.Private, q.Out, q.OutRateHz)
 		}
 	}
 	if len(m.VOs) > 0 {

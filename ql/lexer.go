@@ -17,6 +17,13 @@
 //	SELECT * FROM sensors WHERE val > 10 AND key % 4 = 0
 //	SELECT avg(val) FROM sensors WINDOW 60s GROUP BY KEY
 //	SELECT * FROM orders JOIN payments WINDOW 5s WHERE val >= 100
+//
+// Operator names are derived from the expression text, so two
+// statements with an identical clause prefix compile to
+// identically-named operators — when registered through
+// Engine.AddQuery (hmtsd's QUERY ADD / QUERY DROP verbs), the engine's
+// common-prefix subsumption shares that prefix instead of duplicating
+// it.
 package ql
 
 import (
